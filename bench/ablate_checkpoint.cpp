@@ -1,0 +1,62 @@
+// Checkpoint-interval ablation for rollback-retry.
+//
+// Coarser checkpoints cost re-executed work on every rollback without
+// changing which fault classes are survivable — time redundancy does not
+// substitute for a changed environment. Measured over the EDT faults
+// (where rollback actually recovers).
+#include <cstdio>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "recovery/rollback.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+int main() {
+  std::puts("=== Checkpoint-interval ablation (rollback-retry, EDT faults) "
+            "===\n");
+
+  std::vector<corpus::SeedFault> edt;
+  for (const auto& seed : corpus::all_seeds()) {
+    if (corpus::seed_class(seed) == core::FaultClass::kEnvDependentTransient) {
+      edt.push_back(seed);
+    }
+  }
+
+  report::AsciiTable t({"interval", "survived", "mean recoveries",
+                        "mean items re-executed"});
+  for (const std::size_t interval : {1u, 2u, 5u, 10u, 20u}) {
+    std::size_t survived = 0;
+    std::size_t recoveries = 0;
+    std::size_t reexecuted = 0;
+    for (const auto& seed : edt) {
+      harness::TrialConfig tc;
+      tc.seed = 31337 + util::fnv1a(seed.fault_id);
+      const auto plan = inject::plan_for(seed, tc.seed);
+      recovery::RollbackRetry mechanism(interval);
+      const auto outcome = harness::run_trial(plan, mechanism, tc);
+      if (outcome.survived) ++survived;
+      recoveries += outcome.recoveries;
+      reexecuted += outcome.items_reexecuted;
+    }
+    t.add_row({std::to_string(interval),
+               std::to_string(survived) + "/" + std::to_string(edt.size()),
+               util::fixed(static_cast<double>(recoveries) /
+                               static_cast<double>(edt.size()),
+                           1),
+               util::fixed(static_cast<double>(reexecuted) /
+                               static_cast<double>(edt.size()),
+                           1)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nreading: what grows with the interval is the re-executed "
+            "work per recovery — the classic checkpoint-frequency tradeoff "
+            "[Elnozahy99]. At very coarse intervals the re-executed items "
+            "re-encounter the hazard themselves (each replayed racy item "
+            "draws a fresh interleaving), so recoveries multiply and the "
+            "retry budget can run dry.");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation D1 (DESIGN.md): the hand-built rule classifier vs a naive-Bayes
+// text classifier trained on labeled reports.
+//
+// Protocol: leave-one-application-out. For each application, train the
+// Bayes model on the other two applications' primary reports (labeled with
+// ground truth) and classify the held-out application's mined bugs; the
+// rule classifier needs no training. Reports accuracy, Cohen's kappa
+// against ground truth, and the agreement between the two classifiers.
+#include <cstdio>
+
+#include "core/bayes.hpp"
+#include "core/eval.hpp"
+#include "corpus/synth.hpp"
+#include "mining/pipeline.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+struct LabeledReport {
+  core::ReportText text;
+  core::FaultClass label;
+};
+
+std::vector<LabeledReport> labeled_primaries(core::AppId app) {
+  std::vector<LabeledReport> out;
+  const auto collect = [&](const corpus::BugTracker& tracker) {
+    for (const auto& r : tracker.reports()) {
+      if (r.fault_id.empty() || !r.truth_class.has_value()) continue;
+      if (r.text.developer_comments == "Duplicate of an existing report.")
+        continue;
+      out.push_back({r.text, *r.truth_class});
+    }
+  };
+  if (app == core::AppId::kApache) collect(corpus::make_apache_tracker());
+  if (app == core::AppId::kGnome) collect(corpus::make_gnome_tracker());
+  if (app == core::AppId::kMysql) {
+    const auto list = corpus::make_mysql_list();
+    for (const auto& m : list.messages()) {
+      if (m.fault_id.empty() || !m.truth_class.has_value()) continue;
+      core::ReportText text;
+      text.title = m.subject;
+      text.body = m.body;
+      out.push_back({text, *m.truth_class});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation D1: rule classifier vs naive Bayes "
+            "(leave-one-application-out) ===\n");
+
+  report::AsciiTable t({"held-out app", "rule acc", "rule kappa", "bayes acc",
+                        "bayes kappa", "agreement"});
+
+  for (core::AppId held : core::kAllApps) {
+    // Train Bayes on the other two applications.
+    core::BayesClassifier bayes;
+    for (core::AppId other : core::kAllApps) {
+      if (other == held) continue;
+      for (const auto& ex : labeled_primaries(other)) {
+        bayes.train(ex.text, ex.label);
+      }
+    }
+
+    const core::RuleClassifier rules;
+    core::ConfusionMatrix rule_cm;
+    core::ConfusionMatrix bayes_cm;
+    core::ConfusionMatrix agreement;  // rule (rows) vs bayes (cols)
+
+    for (const auto& ex : labeled_primaries(held)) {
+      const auto rule_pred = rules.classify(ex.text).fault_class;
+      const auto bayes_pred = bayes.classify(ex.text);
+      rule_cm.add(ex.label, rule_pred);
+      bayes_cm.add(ex.label, bayes_pred);
+      agreement.add(rule_pred, bayes_pred);
+    }
+
+    t.add_row({std::string(core::to_string(held)),
+               util::percent(rule_cm.accuracy()),
+               util::fixed(rule_cm.kappa(), 3),
+               util::percent(bayes_cm.accuracy()),
+               util::fixed(bayes_cm.kappa(), 3),
+               util::percent(agreement.accuracy())});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nreading: the rule lexicon encodes the paper's manual "
+            "procedure and transfers across applications; the learned "
+            "model depends on cross-application vocabulary overlap. The "
+            "class skew (72-87% EI) makes kappa the honest metric.");
+  return 0;
+}

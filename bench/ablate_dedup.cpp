@@ -1,0 +1,154 @@
+// Ablation D2 (DESIGN.md): duplicate clustering strategy.
+//
+// Compares three dedup strategies on the Apache tracker's study candidates:
+//   exact-title       — reports are duplicates iff titles match exactly
+//   minhash+cosine    — the pipeline's default (LSH candidates, cosine
+//                       confirmation)
+//   cosine-allpairs   — exhaustive O(n^2) cosine (quality ceiling)
+// The planted ground truth (50 unique faults) scores each strategy.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "corpus/synth.hpp"
+#include "mining/dedup.hpp"
+#include "mining/filters.hpp"
+#include "report/table.hpp"
+#include "text/stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/tfidf.hpp"
+#include "text/tokenizer.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+using Clusters = std::vector<std::vector<std::size_t>>;
+
+/// Pairwise precision/recall of a clustering against ground-truth labels.
+struct PairScore {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+PairScore score(const Clusters& clusters,
+                const std::vector<std::string>& truth) {
+  std::set<std::pair<std::size_t, std::size_t>> predicted;
+  for (const auto& cluster : clusters) {
+    for (std::size_t a = 0; a < cluster.size(); ++a) {
+      for (std::size_t b = a + 1; b < cluster.size(); ++b) {
+        predicted.emplace(cluster[a], cluster[b]);
+      }
+    }
+  }
+  std::set<std::pair<std::size_t, std::size_t>> actual;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    for (std::size_t j = i + 1; j < truth.size(); ++j) {
+      if (!truth[i].empty() && truth[i] == truth[j]) actual.emplace(i, j);
+    }
+  }
+  std::size_t hit = 0;
+  for (const auto& p : predicted) {
+    if (actual.contains(p)) ++hit;
+  }
+  PairScore s;
+  s.precision = predicted.empty()
+                    ? 1.0
+                    : static_cast<double>(hit) / static_cast<double>(predicted.size());
+  s.recall = actual.empty()
+                 ? 1.0
+                 : static_cast<double>(hit) / static_cast<double>(actual.size());
+  return s;
+}
+
+Clusters exact_title(const std::vector<corpus::BugReport>& reports) {
+  std::map<std::string, std::vector<std::size_t>> by_title;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    by_title[reports[i].text.title].push_back(i);
+  }
+  Clusters out;
+  for (auto& [title, members] : by_title) {
+    (void)title;
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+Clusters cosine_allpairs(const std::vector<corpus::BugReport>& reports,
+                         double threshold) {
+  std::vector<std::vector<std::string>> tokens(reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    tokens[i] = text::stem_all(text::remove_stopwords(text::tokenize(
+        reports[i].text.title + ' ' + reports[i].text.how_to_repeat + ' ' +
+        reports[i].text.body)));
+  }
+  text::TfIdfModel model;
+  model.fit(tokens);
+  std::vector<text::DocVector> vectors(reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    vectors[i] = model.transform(tokens[i]);
+  }
+  mining::UnionFind uf(reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    for (std::size_t j = i + 1; j < reports.size(); ++j) {
+      if (text::cosine(vectors[i], vectors[j]) >= threshold) uf.unite(i, j);
+    }
+  }
+  return uf.groups();
+}
+
+Clusters pipeline_dedup(const std::vector<corpus::BugReport>& reports) {
+  std::vector<mining::DedupDoc> docs;
+  docs.reserve(reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    mining::DedupDoc d;
+    d.id = reports[i].id;
+    d.text = reports[i].text.title + ' ' + reports[i].text.how_to_repeat +
+             ' ' + reports[i].text.body;
+    docs.push_back(std::move(d));
+  }
+  return mining::cluster_documents(docs);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation D2: duplicate-clustering strategies (Apache "
+            "study candidates, 50 planted faults) ===\n");
+
+  const auto tracker = corpus::make_apache_tracker();
+  const auto candidates = mining::study_candidates(tracker);
+  std::vector<std::string> truth;
+  truth.reserve(candidates.size());
+  for (const auto& r : candidates) truth.push_back(r.fault_id);
+
+  report::AsciiTable t({"strategy", "clusters", "pair precision",
+                        "pair recall", "ms"});
+  const auto run = [&](const char* name, auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Clusters clusters = fn();
+    const auto ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count() /
+                    1000.0;
+    const auto s = score(clusters, truth);
+    t.add_row({name, std::to_string(clusters.size()),
+               util::percent(s.precision), util::percent(s.recall),
+               util::fixed(ms, 2)});
+  };
+
+  run("exact-title", [&] { return exact_title(candidates); });
+  run("minhash+cosine (default)", [&] { return pipeline_dedup(candidates); });
+  run("cosine-allpairs", [&] { return cosine_allpairs(candidates, 0.55); });
+
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nground truth: %zu unique faults among %zu candidate "
+              "reports\n",
+              tracker.distinct_faults(), candidates.size());
+  std::puts("reading: exact-title misses paraphrased duplicates (splits "
+            "clusters, inflating the unique-bug count); LSH+cosine matches "
+            "the exhaustive scorer at a fraction of the pair comparisons.");
+  return 0;
+}

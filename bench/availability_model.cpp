@@ -1,0 +1,95 @@
+// Availability model: the paper's conclusion in operational terms.
+//
+// Feeds each mechanism's measured per-class survival (from the recovery
+// matrix) and the study's fault-class mix into a steady-state availability
+// model: how much uptime does each recovery strategy actually buy when
+// 81% of faults are deterministic?
+#include <cstdio>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "report/table.hpp"
+#include "stats/availability.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+int main() {
+  std::puts("=== Availability implied by the recovery matrix ===\n");
+  std::puts("model: 100 ops/s; a masked failure pauses service 5 s; an "
+            "unmasked one is a 1 h outage; one fault encounter per ten "
+            "million ops, split by the study's class mix "
+            "(81.3% / 10.1% / 8.6%).\n");
+
+  const auto seeds = corpus::all_seeds();
+  auto mechanisms = harness::standard_mechanisms();
+  // A no-recovery baseline: nothing is masked.
+  const auto matrix = harness::run_matrix(seeds, mechanisms);
+
+  report::AsciiTable t({"mechanism", "availability", "nines",
+                        "downtime/day", "outages/day", "MTBF (h)"});
+
+  const auto add_row = [&](const std::string& name,
+                           const stats::SurvivalProfile& profile) {
+    const auto r = stats::estimate_availability(profile);
+    t.add_row({name, util::fixed(r.availability * 100.0, 4) + "%",
+               util::fixed(stats::nines(r.availability), 1),
+               util::fixed(r.downtime_s_per_day, 0) + "s",
+               util::fixed(r.outages_per_day, 2),
+               util::fixed(r.mtbf_hours, 1)});
+  };
+
+  add_row("none (baseline)", stats::SurvivalProfile{});
+  for (const auto& report : matrix.reports) {
+    stats::SurvivalProfile profile;
+    for (std::size_t c = 0; c < 3; ++c) {
+      profile.survival[c] =
+          report.total[c] == 0
+              ? 0.0
+              : static_cast<double>(report.survived[c]) /
+                    static_cast<double>(report.total[c]);
+    }
+    add_row(report.mechanism, profile);
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  // Sensitivity: how the generic-vs-specific gap responds to the operator
+  // outage duration (the only parameter the recovery mechanism cannot
+  // influence).
+  std::puts("\nsensitivity to operator outage duration (availability %):");
+  report::AsciiTable s({"outage", "none", "process-pairs", "app-specific"});
+  stats::SurvivalProfile none{};
+  stats::SurvivalProfile pairs;
+  stats::SurvivalProfile specific;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto& pr = matrix.reports[0];
+    const auto& ar = matrix.reports[5];
+    pairs.survival[c] = pr.total[c] ? static_cast<double>(pr.survived[c]) /
+                                          static_cast<double>(pr.total[c])
+                                    : 0.0;
+    specific.survival[c] = ar.total[c]
+                               ? static_cast<double>(ar.survived[c]) /
+                                     static_cast<double>(ar.total[c])
+                               : 0.0;
+  }
+  for (const double outage_min : {10.0, 30.0, 60.0, 240.0}) {
+    stats::AvailabilityParams params;
+    params.outage_s = outage_min * 60.0;
+    s.add_row({util::fixed(outage_min, 0) + "min",
+               util::fixed(stats::estimate_availability(none, params)
+                                   .availability * 100.0, 3) + "%",
+               util::fixed(stats::estimate_availability(pairs, params)
+                                   .availability * 100.0, 3) + "%",
+               util::fixed(stats::estimate_availability(specific, params)
+                                   .availability * 100.0, 3) + "%"});
+  }
+  std::fputs(s.to_string().c_str(), stdout);
+
+  std::puts("\nreading: generic recovery moves availability only marginally "
+            "— masking 8.6% of failures barely dents the outage rate — "
+            "while application-specific recovery changes the regime. This "
+            "is the operational content of the paper's conclusion that "
+            "\"classical application-generic recovery techniques will not "
+            "be sufficient\".");
+  return 0;
+}

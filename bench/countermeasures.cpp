@@ -1,0 +1,79 @@
+// Section 6.2's resource-exhaustion countermeasures, made executable: what
+// happens to the EDN class when generic recovery is layered over an
+// environment that grows resources on demand and garbage-collects idle
+// descriptors?
+//
+// The paper predicts the reclassification: "some systems may provide a way
+// to automatically increase the disk capacity and hence avoid the bug
+// during retry. If this becomes common, we would re-classify this as an
+// environment-dependent-transient fault."
+#include <cstdio>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "recovery/process_pairs.hpp"
+#include "recovery/resource_guard.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+int main() {
+  std::puts("=== Section 6.2 countermeasures: process pairs with and "
+            "without resource guards ===\n");
+
+  const auto seeds = corpus::all_seeds();
+  const std::vector<harness::NamedMechanism> roster = {
+      {"process-pairs",
+       [] { return std::make_unique<recovery::ProcessPairs>(); }},
+      {"process-pairs+guards",
+       [] {
+         return recovery::with_standard_guards(
+             std::make_unique<recovery::ProcessPairs>());
+       }},
+  };
+  const auto matrix = harness::run_matrix(seeds, roster);
+
+  report::AsciiTable t({"mechanism", "EI", "EDN", "EDT", "overall"});
+  for (const auto& r : matrix.reports) {
+    const auto cell = [&](core::FaultClass c) {
+      const auto i = static_cast<std::size_t>(c);
+      return std::to_string(r.survived[i]) + "/" + std::to_string(r.total[i]);
+    };
+    t.add_row({r.mechanism, cell(core::FaultClass::kEnvironmentIndependent),
+               cell(core::FaultClass::kEnvDependentNonTransient),
+               cell(core::FaultClass::kEnvDependentTransient),
+               util::percent(static_cast<double>(r.survived_all()) /
+                             static_cast<double>(r.total_all()))});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  // Which EDN faults did the guards convert?
+  std::puts("\nper-fault effect on the EDN class (guards vs none):");
+  report::AsciiTable detail({"fault", "trigger", "bare", "guarded"});
+  for (const auto& seed : seeds) {
+    if (corpus::seed_class(seed) != core::FaultClass::kEnvDependentNonTransient)
+      continue;
+    harness::TrialConfig tc;
+    tc.seed = 4242 + util::fnv1a(seed.fault_id);
+    const auto plan = inject::plan_for(seed, tc.seed);
+    recovery::ProcessPairs bare;
+    const auto bare_out = harness::run_trial(plan, bare, tc);
+    auto guarded = recovery::with_standard_guards(
+        std::make_unique<recovery::ProcessPairs>());
+    const auto guarded_out = harness::run_trial(plan, *guarded, tc);
+    detail.add_row({seed.fault_id,
+                    std::string(core::to_string(seed.trigger)),
+                    bare_out.survived ? "survives" : "fails",
+                    guarded_out.survived ? "survives" : "fails"});
+  }
+  std::fputs(detail.to_string().c_str(), stdout);
+
+  std::puts("\nreading: growth + garbage collection convert the resource-"
+            "exhaustion EDN faults into transient ones, exactly the "
+            "reclassification the paper anticipates. Conditions that are "
+            "not resources (hostname change, corrupt metadata, missing "
+            "reverse DNS, removed hardware) and leaks of unknown resources "
+            "remain non-transient.");
+  return 0;
+}

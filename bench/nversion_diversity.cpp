@@ -1,0 +1,104 @@
+// Design diversity (Section 2): N-version programming [Avizienis85] and
+// recovery blocks [Randell75] against the study's fault population, as a
+// function of redundancy degree and of how correlated the versions' bugs
+// are (the Knight-Leveson effect).
+//
+// Expected shape: diversity attacks the environment-independent majority —
+// the class generic recovery cannot touch — but its value collapses as the
+// probability of sharing a bug rises, and it never helps the environmental
+// classes beyond what retry already achieves.
+#include <cstdio>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "recovery/nversion.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+harness::MatrixResult run_with(
+    const std::vector<corpus::SeedFault>& seeds,
+    const std::function<std::unique_ptr<recovery::Mechanism>(std::uint64_t)>&
+        make_for_salt) {
+  // run_matrix expects salt-free factories; bind the salt per fault by
+  // running the matrix one fault at a time.
+  harness::MatrixResult merged;
+  merged.fault_count = seeds.size();
+  harness::MechanismReport total;
+  bool first = true;
+  for (const auto& seed : seeds) {
+    const std::uint64_t salt = util::fnv1a(seed.fault_id);
+    const auto matrix = harness::run_matrix(
+        {seed}, {{"diversity", [&] { return make_for_salt(salt); }}});
+    const auto& r = matrix.reports.front();
+    if (first) {
+      total = r;
+      first = false;
+    } else {
+      for (std::size_t c = 0; c < 3; ++c) {
+        total.survived[c] += r.survived[c];
+        total.total[c] += r.total[c];
+      }
+      total.vacuous += r.vacuous;
+    }
+  }
+  merged.reports.push_back(total);
+  return merged;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Design diversity vs the 139-fault population ===\n");
+
+  const auto seeds = corpus::all_seeds();
+
+  report::AsciiTable t({"scheme", "shared-bug prob", "EI", "EDN", "EDT",
+                        "overall", "cost"});
+  const auto add = [&](const std::string& scheme, double share,
+                       const harness::MechanismReport& r, std::string cost) {
+    const auto cell = [&](core::FaultClass c) {
+      const auto i = static_cast<std::size_t>(c);
+      return std::to_string(r.survived[i]) + "/" + std::to_string(r.total[i]);
+    };
+    t.add_row({scheme, util::fixed(share, 2),
+               cell(core::FaultClass::kEnvironmentIndependent),
+               cell(core::FaultClass::kEnvDependentNonTransient),
+               cell(core::FaultClass::kEnvDependentTransient),
+               util::percent(static_cast<double>(r.survived_all()) /
+                             static_cast<double>(r.total_all())),
+               std::move(cost)});
+  };
+
+  for (const int n : {3, 5}) {
+    for (const double share : {0.0, 0.2, 0.5}) {
+      const auto m = run_with(seeds, [&](std::uint64_t salt) {
+        return std::make_unique<recovery::NVersionProgramming>(n, share, salt);
+      });
+      add(std::to_string(n) + "-version", share, m.reports.front(),
+          std::to_string(n) + "x dev+run");
+    }
+  }
+  for (const int alternates : {1, 2}) {
+    for (const double share : {0.2, 0.5}) {
+      const auto m = run_with(seeds, [&](std::uint64_t salt) {
+        return std::make_unique<recovery::RecoveryBlocks>(alternates, share,
+                                                          salt);
+      });
+      add("recovery-blocks-" + std::to_string(alternates), share,
+          m.reports.front(), std::to_string(alternates + 1) + "x dev");
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nreading: with independent versions (share=0) diversity masks "
+            "the entire EI class; at Knight-Leveson-style correlation the "
+            "majority requirement erodes it. The EDN column never moves — "
+            "N copies of a program see the same full disk. The paper's "
+            "verdict stands: this is application-specific recovery, and its "
+            "cost is N independent implementations.");
+  return 0;
+}

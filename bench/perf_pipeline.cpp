@@ -1,0 +1,112 @@
+// Throughput microbenchmarks (google-benchmark) for the text and mining
+// substrate: tokenization, stemming, TF-IDF, MinHash, classification, the
+// full tracker pipeline, and one end-to-end recovery trial.
+#include <benchmark/benchmark.h>
+
+#include "core/rule_classifier.hpp"
+#include "corpus/synth.hpp"
+#include "harness/experiment.hpp"
+#include "mining/dedup.hpp"
+#include "mining/pipeline.hpp"
+#include "recovery/process_pairs.hpp"
+#include "text/minhash.hpp"
+#include "text/stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/tfidf.hpp"
+#include "text/tokenizer.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+const std::string kSampleReport =
+    "Apache dies with a segfault when the submitted URL is very long. "
+    "Observed on a production machine running release 1.3.0; the problem "
+    "was a result of an overflow in the hash calculation performed by the "
+    "request parser. Submitting any URL longer than the buffer reproduces "
+    "the crash every time on every platform we tried.";
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::tokenize(kSampleReport));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSampleReport.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_StemAndStop(benchmark::State& state) {
+  const auto tokens = text::tokenize(kSampleReport);
+  for (auto _ : state) {
+    auto copy = tokens;
+    benchmark::DoNotOptimize(text::stem_all(text::remove_stopwords(copy)));
+  }
+}
+BENCHMARK(BM_StemAndStop);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  const auto tokens = text::tokenize(kSampleReport);
+  const text::MinHasher hasher({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.signature(tokens));
+  }
+}
+BENCHMARK(BM_MinHashSignature);
+
+void BM_RuleClassify(benchmark::State& state) {
+  const core::RuleClassifier classifier;
+  core::ReportText report;
+  report.title = "dies with a segfault when the submitted URL is very long";
+  report.body = kSampleReport;
+  report.how_to_repeat = "Submit a very long URL from the browser.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(report));
+  }
+}
+BENCHMARK(BM_RuleClassify);
+
+void BM_DedupCluster(benchmark::State& state) {
+  const auto tracker = corpus::make_apache_tracker();
+  const auto candidates = mining::study_candidates(tracker);
+  std::vector<mining::DedupDoc> docs;
+  for (const auto& r : candidates) {
+    docs.push_back({r.id, r.text.title + ' ' + r.text.how_to_repeat});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::cluster_documents(docs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(docs.size()));
+}
+BENCHMARK(BM_DedupCluster);
+
+void BM_FullApachePipeline(benchmark::State& state) {
+  const auto tracker = corpus::make_apache_tracker();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::run_tracker_pipeline(tracker));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tracker.size()));
+}
+BENCHMARK(BM_FullApachePipeline);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus::make_apache_tracker());
+  }
+}
+BENCHMARK(BM_CorpusGeneration);
+
+void BM_RecoveryTrial(benchmark::State& state) {
+  const auto seeds = corpus::apache_seeds();
+  const auto plan = inject::plan_for(seeds.front(), 1);
+  for (auto _ : state) {
+    recovery::ProcessPairs mechanism;
+    benchmark::DoNotOptimize(harness::run_trial(plan, mechanism));
+  }
+}
+BENCHMARK(BM_RecoveryTrial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Section 8's proposed future work, implemented: run every study fault
+// against every recovery mechanism on the simulated applications and
+// measure survival.
+//
+// Expected shape (the paper's thesis): truly generic, state-preserving
+// mechanisms survive only the environment-dependent-transient class —
+// 12/139 = 8.6% of faults, inside the paper's 5-14% per-application band —
+// while surviving the rest requires application-specific knowledge.
+#include <cstdio>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace faultstudy;
+  using core::FaultClass;
+
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  const auto matrix = harness::run_matrix(seeds, mechanisms);
+
+  std::printf("=== Recovery matrix: %zu faults x %zu mechanisms ===\n\n",
+              matrix.fault_count, mechanisms.size());
+
+  report::AsciiTable t({"mechanism", "generic", "EI", "EDN", "EDT",
+                        "overall", "survival", "state losses"});
+  for (const auto& r : matrix.reports) {
+    const auto cell = [&](FaultClass c) {
+      const auto i = static_cast<std::size_t>(c);
+      return std::to_string(r.survived[i]) + "/" + std::to_string(r.total[i]);
+    };
+    t.add_row({r.mechanism, r.generic ? "yes" : "no",
+               cell(FaultClass::kEnvironmentIndependent),
+               cell(FaultClass::kEnvDependentNonTransient),
+               cell(FaultClass::kEnvDependentTransient),
+               std::to_string(r.survived_all()) + "/" +
+                   std::to_string(r.total_all()),
+               util::percent(static_cast<double>(r.survived_all()) /
+                             static_cast<double>(r.total_all())),
+               std::to_string(r.state_losses)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nper-application survival under process pairs "
+            "(paper band: 5-14% transient per application):");
+  report::AsciiTable pa({"application", "survived", "faults", "rate"});
+  for (core::AppId app : core::kAllApps) {
+    std::vector<corpus::SeedFault> subset;
+    for (const auto& s : seeds) {
+      if (s.app == app) subset.push_back(s);
+    }
+    const auto sub = harness::run_matrix(
+        subset, {{"process-pairs", mechanisms[0].make}});
+    const auto& r = sub.reports.front();
+    pa.add_row({std::string(core::to_string(app)),
+                std::to_string(r.survived_all()),
+                std::to_string(r.total_all()),
+                util::percent(static_cast<double>(r.survived_all()) /
+                              static_cast<double>(r.total_all()))});
+  }
+  std::fputs(pa.to_string().c_str(), stdout);
+
+  std::puts("\nreading:");
+  std::puts("  - generic state-preserving mechanisms (process pairs, "
+            "rollback, progressive) survive only the EDT class;");
+  std::puts("  - a lossy cold restart also sheds leaks and re-reads cached "
+            "environment facts, at the price of losing application state;");
+  std::puts("  - application-specific recovery survives the deterministic "
+            "majority, except conditions only an operator can clear.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Proactive rejuvenation schedule sweep ([Huang95], Section 6.2).
+//
+// Against the study's leak faults (Apache's growing shared-memory segment,
+// the load-induced resource leak, descriptor leaks), rejuvenating every R
+// operations prevents the failure entirely when R is below the leak
+// horizon, and degrades gracefully above it — the classic rejuvenation
+// interval / failure-cost tradeoff.
+#include <cstdio>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "recovery/rejuvenation.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+int main() {
+  std::puts("=== Proactive rejuvenation interval sweep (leak faults) ===\n");
+
+  // The leak faults of the study.
+  std::vector<corpus::SeedFault> leaks;
+  for (const auto& seed : corpus::all_seeds()) {
+    if (seed.trigger == core::Trigger::kDeterministicLeak ||
+        seed.trigger == core::Trigger::kResourceLeakUnderLoad ||
+        seed.trigger == core::Trigger::kFdExhaustion) {
+      leaks.push_back(seed);
+    }
+  }
+  std::printf("leak faults under test: %zu\n\n", leaks.size());
+
+  report::AsciiTable t({"interval", "fault", "failures", "reactive recov",
+                        "proactive passes", "survived"});
+  for (const std::size_t interval : {4u, 8u, 16u, 64u}) {
+    for (const auto& seed : leaks) {
+      harness::TrialConfig tc;
+      tc.seed = 777 + util::fnv1a(seed.fault_id);
+      const auto plan = inject::plan_for(seed, tc.seed);
+      recovery::ScheduledRejuvenation mechanism(interval);
+      const auto outcome = harness::run_trial(plan, mechanism, tc);
+      t.add_row({std::to_string(interval), seed.fault_id,
+                 std::to_string(outcome.failures),
+                 std::to_string(outcome.recoveries),
+                 std::to_string(mechanism.proactive_passes()),
+                 outcome.survived && !outcome.failure_observed
+                     ? "no failure at all"
+                     : (outcome.survived ? "yes" : "NO")});
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nreading: short intervals PREVENT the failures (zero observed "
+            "crashes) at the price of frequent proactive passes; long "
+            "intervals let leaks reach their limit and rejuvenation becomes "
+            "reactive. This is the mechanism Apache administrators used in "
+            "the field (SIGHUP rejuvenation), per Section 6.2.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Section 7: reconciliation with Lee & Iyer's Tandem GUARDIAN study.
+//
+// Lee & Iyer report that 82% of software faults were recovered by process
+// pairs. The paper explains the gap from its own 5-14% by removing, step by
+// step, the recovery credit that came from application-specific effects:
+// backup-started-from-different-state ("memory state" / "error latency"
+// categories), tasks not re-executed by the backup, and bugs introduced by
+// the process-pair mechanism itself — leaving ~29% genuinely transient
+// faults in the operating system, still above the application-level numbers
+// because OS code interacts more closely with hardware.
+//
+// This bench reproduces that adjustment arithmetic and sets it against the
+// survival our own simulator measures for a *purely* generic process-pair.
+#include <cstdio>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace faultstudy;
+
+  std::puts("=== Section 7: adjusting Lee & Iyer's 82% process-pair "
+            "recovery ===\n");
+
+  // Category shares of recovered faults in [Lee93] as the paper reads them.
+  // Starting population: software faults recovered by process pairs (82% of
+  // all). Each adjustment removes recoveries that a purely generic,
+  // full-state, same-task process pair would not have achieved.
+  struct Step {
+    const char* description;
+    double remaining;  ///< fraction of all faults still counted recovered
+  };
+  const Step steps[] = {
+      {"reported by Lee & Iyer: recovered by Tandem process pairs", 0.82},
+      {"minus recoveries because the backup started from different state\n"
+       "    (their 'memory state' and 'error latency' categories)",
+       0.55},
+      {"minus recoveries where the backup did not re-execute the task\n"
+       "    (task directed at a specific processor, user avoided trigger)",
+       0.40},
+      {"minus faults only affecting the backup (introduced by the\n"
+       "    process-pair mechanism itself, not application bugs)",
+       0.29},
+  };
+
+  for (const auto& s : steps) {
+    std::printf("  %5s  %s\n", util::percent(s.remaining, 0).c_str(),
+                s.description);
+  }
+  std::puts("\n  => ~29% genuinely transient faults in the Tandem OS "
+            "(paper's adjusted figure)\n");
+
+  // Our measured counterpart for application-level faults.
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  const auto matrix =
+      harness::run_matrix(seeds, {{"process-pairs", mechanisms[0].make}});
+  const auto& r = matrix.reports.front();
+  const double measured = static_cast<double>(r.survived_all()) /
+                          static_cast<double>(r.total_all());
+
+  report::AsciiTable t({"study", "process-pair survival", "notes"});
+  t.add_row({"Lee & Iyer (as reported)", "82%",
+             "includes application-specific recovery effects"});
+  t.add_row({"Lee & Iyer (adjusted)", "29%",
+             "OS code interacts more with hardware -> more env-dependence"});
+  t.add_row({"this reproduction (simulated)", util::percent(measured),
+             "purely generic process pairs, application-level faults"});
+  t.add_row({"paper's estimate", "5-14%", "per-application transient share"});
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 1: classification of 50 Apache faults.
+// Paper: 36 environment-independent, 7 EDN, 7 EDT.
+//
+// The counts are produced by the full methodology, not read from the seed
+// list: the synthetic tracker (5220 reports) is filtered by the study
+// criteria, duplicate reports are clustered, and each unique bug is
+// classified from its report text by the rule classifier.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace faultstudy;
+
+  std::puts("=== Table 1: Classification of faults for Apache ===\n");
+  const auto tracker = corpus::make_apache_tracker();
+  const auto result = mining::run_tracker_pipeline(tracker);
+
+  bench::print_tracker_funnel(result, tracker.size());
+
+  const auto counts = bench::counts_of(result);
+  std::fputs(report::render_class_table(
+                 counts,
+                 "Table 1: Classification of faults for Apache. "
+                 "Environment-independent faults do not depend on the "
+                 "operating environment and are therefore deterministic.")
+                 .c_str(),
+             stdout);
+
+  std::puts("\npaper vs measured:");
+  bench::print_comparison(counts, {36, 7, 7});
+  return 0;
+}

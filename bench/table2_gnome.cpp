@@ -1,0 +1,25 @@
+// Table 2: classification of 45 GNOME faults.
+// Paper: 39 environment-independent, 3 EDN, 3 EDT.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace faultstudy;
+
+  std::puts("=== Table 2: Classification of faults for GNOME ===\n");
+  const auto tracker = corpus::make_gnome_tracker();
+  const auto result = mining::run_tracker_pipeline(tracker);
+
+  bench::print_tracker_funnel(result, tracker.size());
+
+  const auto counts = bench::counts_of(result);
+  std::fputs(report::render_class_table(
+                 counts,
+                 "Table 2: Classification of faults for GNOME (core "
+                 "libraries plus panel, gnome-pim, gnumeric and gmc).")
+                 .c_str(),
+             stdout);
+
+  std::puts("\npaper vs measured:");
+  bench::print_comparison(counts, {39, 3, 3});
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Robustness-wrapper coverage sweep (Section 6.1, Ballista [Kropp98]).
+//
+// Wrappers neutralize boundary-condition faults the testing campaign
+// found. Sweeping coverage shows the best case for the "prevent rather
+// than recover" strategy — and why "testing all of the boundary conditions
+// the software may encounter in the field" is the hard part: survival of
+// the EI class scales linearly with coverage, nothing more.
+#include <cstdio>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "recovery/process_pairs.hpp"
+#include "recovery/wrappers.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+int main() {
+  std::puts("=== Robustness-wrapper coverage sweep (process pairs under "
+            "wrappers) ===\n");
+
+  const auto seeds = corpus::all_seeds();
+
+  report::AsciiTable t({"coverage", "EI survived", "EDN", "EDT", "overall"});
+  for (const double coverage : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    harness::MechanismReport total;
+    for (const auto& seed : seeds) {
+      const std::uint64_t salt = util::fnv1a(seed.fault_id);
+      const auto matrix = harness::run_matrix(
+          {seed}, {{"wrapped", [&] {
+                      return std::make_unique<recovery::WrappedMechanism>(
+                          std::make_unique<recovery::ProcessPairs>(), coverage,
+                          salt);
+                    }}});
+      const auto& r = matrix.reports.front();
+      for (std::size_t c = 0; c < 3; ++c) {
+        total.survived[c] += r.survived[c];
+        total.total[c] += r.total[c];
+      }
+    }
+    const auto cell = [&](core::FaultClass c) {
+      const auto i = static_cast<std::size_t>(c);
+      return std::to_string(total.survived[i]) + "/" +
+             std::to_string(total.total[i]);
+    };
+    t.add_row({util::percent(coverage, 0),
+               cell(core::FaultClass::kEnvironmentIndependent),
+               cell(core::FaultClass::kEnvDependentNonTransient),
+               cell(core::FaultClass::kEnvDependentTransient),
+               util::percent(static_cast<double>(total.survived_all()) /
+                             static_cast<double>(total.total_all()))});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nreading: EI survival tracks wrapper coverage; the leak-type "
+            "EI faults (no killer input to reject) and the EDN class are "
+            "untouched at any coverage. Even perfect wrappers leave the "
+            "environmental conditions to other countermeasures.");
+  return 0;
+}

@@ -1,0 +1,253 @@
+// faultstudy — command-line front end for the library.
+//
+//   faultstudy_cli classify             # read a report from stdin, classify
+//   faultstudy_cli corpus <app> <file>  # write the synthetic corpus to disk
+//   faultstudy_cli mine <app|file>      # run the mining pipeline, print table
+//   faultstudy_cli simulate <fault> <mechanism>   # one recovery trial
+//   faultstudy_cli matrix               # the full recovery matrix
+//
+// `mine` accepts either an application name (generates the calibrated
+// synthetic corpus) or a path to a tracker dump / mbox file written by
+// `corpus` (or by you).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "corpus/serialize.hpp"
+#include "corpus/synth.hpp"
+#include "harness/experiment.hpp"
+#include "core/rules.hpp"
+#include "mining/pipeline.hpp"
+#include "report/study_report.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  faultstudy_cli classify                       (report on stdin)\n"
+      "  faultstudy_cli taxonomy                       (trigger ontology)\n"
+      "  faultstudy_cli corpus <apache|gnome|mysql> <out-file>\n"
+      "  faultstudy_cli mine <apache|gnome|mysql|dump-file>\n"
+      "  faultstudy_cli simulate <fault-id> <mechanism>\n"
+      "  faultstudy_cli matrix\n"
+      "  faultstudy_cli report <out.md>                (full study report)\n",
+      stderr);
+  return 2;
+}
+
+int cmd_taxonomy() {
+  report::AsciiTable t({"trigger", "class", "changes on retry", "mechanism"});
+  for (const core::Trigger trigger : core::all_triggers()) {
+    const auto& ruling = core::default_ruling(trigger);
+    t.add_row({std::string(core::to_string(trigger)),
+               std::string(core::to_code(ruling.fault_class)),
+               ruling.condition_changes_on_retry ? "yes" : "no",
+               std::string(core::describe(trigger))});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_report(const std::string& path) {
+  std::printf("running the full study...\n");
+  const auto markdown = report::generate_study_report();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << markdown;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), markdown.size());
+  return 0;
+}
+
+int cmd_classify() {
+  // Accept either the structured field format or free text (all of it
+  // becomes the body).
+  std::ostringstream all;
+  all << std::cin.rdbuf();
+  const std::string input = all.str();
+
+  core::ReportText report;
+  bool structured = false;
+  for (const auto line : util::split(input, '\n')) {
+    const auto set = [&](std::string_view tag, std::string& field) {
+      if (util::starts_with(line, tag)) {
+        field = std::string(util::trim(line.substr(tag.size())));
+        structured = true;
+        return true;
+      }
+      return false;
+    };
+    if (set("Title:", report.title)) continue;
+    if (set("How-To-Repeat:", report.how_to_repeat)) continue;
+    if (set("Comments:", report.developer_comments)) continue;
+    report.body += std::string(line) + "\n";
+  }
+  if (!structured) report.body = input;
+
+  const auto result = core::RuleClassifier().classify(report);
+  std::printf("class      : %s\n",
+              std::string(core::to_string(result.fault_class)).c_str());
+  std::printf("trigger    : %s — %s\n",
+              std::string(core::to_string(result.trigger)).c_str(),
+              std::string(core::describe(result.trigger)).c_str());
+  std::printf("confidence : %.2f\n", result.confidence);
+  const auto& ruling = core::default_ruling(result.trigger);
+  std::printf("retry      : condition %s\n",
+              ruling.condition_changes_on_retry ? "likely changes (generic "
+                                                  "recovery can work)"
+                                                : "persists (needs "
+                                                  "application-specific "
+                                                  "recovery)");
+  for (const auto& cue : result.evidence) {
+    std::printf("  evidence : '%s' in %s\n", cue.phrase.c_str(),
+                cue.field.c_str());
+  }
+  return 0;
+}
+
+int cmd_corpus(const std::string& app, const std::string& path) {
+  std::string payload;
+  if (app == "apache") {
+    payload = corpus::tracker_to_text(corpus::make_apache_tracker());
+  } else if (app == "gnome") {
+    payload = corpus::tracker_to_text(corpus::make_gnome_tracker());
+  } else if (app == "mysql") {
+    payload = corpus::mailinglist_to_mbox(corpus::make_mysql_list());
+  } else {
+    return usage();
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << payload;
+  std::printf("wrote %zu bytes to %s\n", payload.size(), path.c_str());
+  return 0;
+}
+
+void print_study(const mining::PipelineResult& result) {
+  const auto faults = mining::to_faults(result);
+  const auto counts = core::tally(faults);
+  std::printf("unique bugs: %zu\n\n", result.bugs.size());
+  std::fputs(report::render_class_table(counts, "").c_str(), stdout);
+}
+
+int cmd_mine(const std::string& target) {
+  if (target == "apache" || target == "gnome") {
+    const auto tracker = target == "apache" ? corpus::make_apache_tracker()
+                                            : corpus::make_gnome_tracker();
+    print_study(mining::run_tracker_pipeline(tracker));
+    return 0;
+  }
+  if (target == "mysql") {
+    print_study(mining::run_mailinglist_pipeline(corpus::make_mysql_list()));
+    return 0;
+  }
+  // A file: sniff the format.
+  std::ifstream in(target, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", target.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.starts_with("From ")) {
+    const auto list = corpus::mailinglist_from_mbox(text);
+    if (!list.ok()) {
+      std::fprintf(stderr, "mbox parse error: %s\n", list.error().c_str());
+      return 1;
+    }
+    print_study(mining::run_mailinglist_pipeline(list.value()));
+    return 0;
+  }
+  const auto tracker = corpus::tracker_from_text(text);
+  if (!tracker.ok()) {
+    std::fprintf(stderr, "tracker parse error: %s\n", tracker.error().c_str());
+    return 1;
+  }
+  print_study(mining::run_tracker_pipeline(tracker.value()));
+  return 0;
+}
+
+int cmd_simulate(const std::string& fault_id, const std::string& mechanism) {
+  const auto seeds = corpus::all_seeds();
+  const corpus::SeedFault* seed = nullptr;
+  for (const auto& s : seeds) {
+    if (s.fault_id == fault_id) seed = &s;
+  }
+  if (seed == nullptr) {
+    std::fprintf(stderr, "unknown fault id %s\n", fault_id.c_str());
+    return 1;
+  }
+  harness::MechanismFactory factory;
+  for (const auto& nm : harness::standard_mechanisms()) {
+    if (nm.name == mechanism) factory = nm.make;
+  }
+  if (!factory) {
+    std::fprintf(stderr, "unknown mechanism %s (try process-pairs, "
+                         "rollback-retry, progressive-retry, cold-restart, "
+                         "rejuvenation, app-specific)\n",
+                 mechanism.c_str());
+    return 1;
+  }
+  const auto plan = inject::plan_for(*seed, 42);
+  auto mech = factory();
+  const auto outcome = harness::run_trial(plan, *mech);
+  std::printf("fault     : %s (%s, %s)\n", seed->fault_id.c_str(),
+              std::string(core::to_string(seed->trigger)).c_str(),
+              std::string(core::to_string(corpus::seed_class(*seed))).c_str());
+  std::printf("mechanism : %s\n", mechanism.c_str());
+  std::printf("observed  : %zu failures, %zu recoveries\n", outcome.failures,
+              outcome.recoveries);
+  std::printf("verdict   : %s\n",
+              outcome.survived ? "SURVIVED" : "NOT SURVIVED");
+  if (!outcome.first_failure.empty()) {
+    std::printf("first failure: %s\n", outcome.first_failure.c_str());
+  }
+  return outcome.survived ? 0 : 3;
+}
+
+int cmd_matrix() {
+  const auto matrix = harness::run_matrix(corpus::all_seeds(),
+                                          harness::standard_mechanisms());
+  report::AsciiTable t({"mechanism", "EI", "EDN", "EDT", "overall"});
+  for (const auto& r : matrix.reports) {
+    const auto cell = [&](core::FaultClass c) {
+      const auto i = static_cast<std::size_t>(c);
+      return std::to_string(r.survived[i]) + "/" + std::to_string(r.total[i]);
+    };
+    t.add_row({r.mechanism, cell(core::FaultClass::kEnvironmentIndependent),
+               cell(core::FaultClass::kEnvDependentNonTransient),
+               cell(core::FaultClass::kEnvDependentTransient),
+               util::percent(static_cast<double>(r.survived_all()) /
+                             static_cast<double>(r.total_all()))});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "classify") return cmd_classify();
+  if (cmd == "taxonomy") return cmd_taxonomy();
+  if (cmd == "corpus" && argc == 4) return cmd_corpus(argv[2], argv[3]);
+  if (cmd == "mine" && argc == 3) return cmd_mine(argv[2]);
+  if (cmd == "simulate" && argc == 4) return cmd_simulate(argv[2], argv[3]);
+  if (cmd == "matrix") return cmd_matrix();
+  if (cmd == "report" && argc == 3) return cmd_report(argv[2]);
+  return usage();
+}

@@ -1,0 +1,96 @@
+// Policy what-if: the paper concedes the EDN/EDT split "is subjective and
+// depends upon the recovery system in place" (Section 5.4). This example
+// re-runs the classification under alternative rule policies — e.g. an
+// environment that auto-grows full file systems, or one where DNS never
+// heals — and shows how the headline numbers move (and how little the
+// dominant EI share cares).
+#include <cstdio>
+
+#include "core/rules.hpp"
+#include "corpus/seeds.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+core::ClassCounts classify_under(const core::RulePolicy& policy) {
+  core::ClassCounts counts;
+  for (const auto& seed : corpus::all_seeds()) {
+    ++counts[policy.classify(seed.trigger)];
+  }
+  return counts;
+}
+
+void add_row(report::AsciiTable& t, const char* name,
+             const core::RulePolicy& policy) {
+  const auto c = classify_under(policy);
+  t.add_row({name,
+             std::to_string(c[core::FaultClass::kEnvironmentIndependent]),
+             std::to_string(c[core::FaultClass::kEnvDependentNonTransient]),
+             std::to_string(c[core::FaultClass::kEnvDependentTransient]),
+             util::percent(c.fraction(core::FaultClass::kEnvDependentTransient)),
+             std::to_string(policy.override_count())});
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== What-if: reclassification under alternative recovery-"
+            "system assumptions (139 faults) ===\n");
+
+  report::AsciiTable t({"policy", "EI", "EDN", "EDT", "EDT share",
+                        "overrides"});
+
+  add_row(t, "paper default", core::RulePolicy{});
+
+  // A storage layer that automatically grows full volumes and rotates
+  // oversized files — the paper: "if this becomes common, we would
+  // re-classify this as an environment-dependent-transient fault".
+  core::RulePolicy elastic_storage;
+  elastic_storage.reclassify(core::Trigger::kFullFileSystem,
+                             core::FaultClass::kEnvDependentTransient);
+  elastic_storage.reclassify(core::Trigger::kFileSizeLimit,
+                             core::FaultClass::kEnvDependentTransient);
+  elastic_storage.reclassify(core::Trigger::kDiskCacheFull,
+                             core::FaultClass::kEnvDependentTransient);
+  add_row(t, "elastic storage", elastic_storage);
+
+  // An OS that dynamically raises per-process descriptor limits.
+  core::RulePolicy elastic_fds;
+  elastic_fds.reclassify(core::Trigger::kFdExhaustion,
+                         core::FaultClass::kEnvDependentTransient);
+  elastic_fds.reclassify(core::Trigger::kExternalSocketLeak,
+                         core::FaultClass::kEnvDependentTransient);
+  add_row(t, "elastic descriptors", elastic_fds);
+
+  // A pessimistic reading: infrastructure never heals on its own — slow
+  // DNS and slow networks stay slow through recovery.
+  core::RulePolicy frozen_infra;
+  frozen_infra.reclassify(core::Trigger::kDnsSlow,
+                          core::FaultClass::kEnvDependentNonTransient);
+  frozen_infra.reclassify(core::Trigger::kNetworkSlow,
+                          core::FaultClass::kEnvDependentNonTransient);
+  frozen_infra.reclassify(core::Trigger::kDnsError,
+                          core::FaultClass::kEnvDependentNonTransient);
+  add_row(t, "frozen infrastructure", frozen_infra);
+
+  // Everything optimistic at once.
+  core::RulePolicy best_case = elastic_storage;
+  best_case.reclassify(core::Trigger::kFdExhaustion,
+                       core::FaultClass::kEnvDependentTransient);
+  best_case.reclassify(core::Trigger::kExternalSocketLeak,
+                       core::FaultClass::kEnvDependentTransient);
+  best_case.reclassify(core::Trigger::kResourceLeakUnderLoad,
+                       core::FaultClass::kEnvDependentTransient);
+  add_row(t, "all-elastic best case", best_case);
+
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nreading: even the friendliest recovery environment moves "
+            "only the EDN/EDT boundary. The environment-independent "
+            "majority — the faults that defeat generic recovery outright — "
+            "does not move, which is the paper's core point.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: classify a bug report and interpret the result.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The library's core question: given a bug report, does surviving this
+// fault require application-specific recovery, or would a generic
+// mechanism (process pairs, rollback-retry) survive it?
+#include <cstdio>
+
+#include "core/rule_classifier.hpp"
+#include "core/rules.hpp"
+
+int main() {
+  using namespace faultstudy;
+
+  // A report as it might arrive in a tracker: title, free-form body, the
+  // how-to-repeat field, and whatever the developers said about it.
+  core::ReportText report;
+  report.title = "server stops accepting uploads";
+  report.body =
+      "After a few weeks of uptime the server starts rejecting uploads. "
+      "Everything else still works. Restarting does not help.";
+  report.how_to_repeat =
+      "Fill the file system holding the spool directory; all uploads fail "
+      "with no space left on device until an admin frees disk space.";
+  report.developer_comments =
+      "Confirmed: the spool write path does not handle a full file system.";
+
+  const core::RuleClassifier classifier;
+  const core::Classification result = classifier.classify(report);
+
+  std::printf("trigger      : %s\n",
+              std::string(core::to_string(result.trigger)).c_str());
+  std::printf("mechanism    : %s\n",
+              std::string(core::describe(result.trigger)).c_str());
+  std::printf("fault class  : %s\n",
+              std::string(core::to_string(result.fault_class)).c_str());
+  std::printf("confidence   : %.2f\n", result.confidence);
+
+  const core::Ruling& ruling = core::default_ruling(result.trigger);
+  std::printf("on retry     : condition %s\n",
+              ruling.condition_changes_on_retry
+                  ? "is likely to have changed -> generic recovery can work"
+                  : "persists -> generic recovery will NOT survive this");
+  std::printf("rationale    : %s\n", std::string(ruling.rationale).c_str());
+
+  std::puts("\nevidence (matched cues):");
+  for (const auto& cue : result.evidence) {
+    std::printf("  '%s' in %s (weight %.2f) -> %s\n", cue.phrase.c_str(),
+                cue.field.c_str(), cue.weight,
+                std::string(core::to_string(cue.trigger)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Recovery lab: arm one fault from the study into its simulated application
+// and watch a recovery mechanism fight it, step by step.
+//
+//   ./build/examples/recovery_lab [fault-id] [mechanism]
+//   e.g. ./build/examples/recovery_lab apache-edt-02 process-pairs
+//        ./build/examples/recovery_lab apache-edn-02 cold-restart
+#include <cstdio>
+#include <cstring>
+
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "harness/transcript.hpp"
+
+using namespace faultstudy;
+
+int main(int argc, char** argv) {
+  const std::string fault_id = argc > 1 ? argv[1] : "apache-edt-02";
+  const std::string mechanism_name = argc > 2 ? argv[2] : "process-pairs";
+
+  const corpus::SeedFault* seed = nullptr;
+  const auto seeds = corpus::all_seeds();
+  for (const auto& s : seeds) {
+    if (s.fault_id == fault_id) {
+      seed = &s;
+      break;
+    }
+  }
+  if (seed == nullptr) {
+    std::fprintf(stderr, "unknown fault id '%s'; known ids look like "
+                         "apache-edt-02, gnome-ei-04, mysql-edn-01\n",
+                 fault_id.c_str());
+    return 1;
+  }
+
+  harness::MechanismFactory factory;
+  for (const auto& nm : harness::standard_mechanisms()) {
+    if (nm.name == mechanism_name) factory = nm.make;
+  }
+  if (!factory) {
+    std::fprintf(stderr, "unknown mechanism '%s'\n", mechanism_name.c_str());
+    return 1;
+  }
+
+  std::printf("fault     : %s — %s\n", seed->fault_id.c_str(),
+              seed->title.c_str());
+  std::printf("trigger   : %s (%s)\n",
+              std::string(core::to_string(seed->trigger)).c_str(),
+              std::string(core::describe(seed->trigger)).c_str());
+  std::printf("class     : %s\n",
+              std::string(core::to_string(corpus::seed_class(*seed))).c_str());
+  std::printf("mechanism : %s\n\n", mechanism_name.c_str());
+
+  // Run the trial manually so we can narrate it.
+  const auto plan = inject::plan_for(*seed, 42);
+  env::Environment environment(plan.env_config);
+  auto app = inject::make_app(seed->app);
+  app->arm_fault(plan.fault);
+  app->start(environment);
+  plan.arm_environment(environment, *app);
+  auto mechanism = factory();
+  mechanism->attach(*app, environment);
+
+  harness::Transcript transcript;
+  transcript.record(harness::EventKind::kStart, environment.now(), 0,
+                    std::string(app->name()) + " started");
+
+  const auto workload = apps::make_workload(seed->app, plan.workload);
+  std::size_t recoveries = 0;
+  bool survived = true;
+  std::size_t i = 0;
+  std::size_t consecutive = 0;
+  while (i < workload.size() * 2) {
+    apps::WorkItem item = workload.items[i % workload.size()];
+    if (consecutive > 0) mechanism->prepare_retry(item);
+    const auto result = app->handle(item, environment);
+    if (!apps::is_failure(result)) {
+      consecutive = 0;
+      ++i;
+      continue;
+    }
+    transcript.record(harness::EventKind::kFailure, environment.now(), i,
+                      result.detail + " [" + item.op + "]");
+    if (++consecutive > 6 || recoveries >= 20) {
+      survived = false;
+      break;
+    }
+    transcript.record(harness::EventKind::kRecoveryBegin, environment.now(), i,
+                      std::string(mechanism->name()));
+    const auto action = mechanism->recover(*app, environment);
+    ++recoveries;
+    transcript.record(action.recovered ? harness::EventKind::kRecoveryOk
+                                       : harness::EventKind::kRecoveryFailed,
+                      environment.now(), i);
+    if (!action.recovered) {
+      survived = false;
+      break;
+    }
+    i -= std::min(action.rewind_items, i);
+  }
+  transcript.record(harness::EventKind::kVerdict, environment.now(), i,
+                    survived ? "workload completed: fault SURVIVED"
+                             : "gave up: fault NOT survived");
+
+  std::fputs(transcript.to_string().c_str(), stdout);
+  std::printf("\nfailures observed: %zu, recoveries: %zu\n",
+              transcript.count(harness::EventKind::kFailure), recoveries);
+  return survived ? 0 : 2;
+}

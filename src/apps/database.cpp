@@ -1,0 +1,172 @@
+#include "apps/database.hpp"
+
+#include "env/interleave.hpp"
+#include "util/strings.hpp"
+
+namespace faultstudy::apps {
+
+struct Database::DbSnapshot : Snapshot {
+  BaseState base;
+  sql::Engine engine;  // full catalog + data + lock state
+  std::uint64_t queries = 0;
+};
+
+Database::Database(const DatabaseConfig& config)
+    : BaseApp(core::AppId::kMysql, "mysqld", config.base_fds,
+              config.worker_pool),
+      config_(config) {
+  log_path_ = "/var/lib/mysql/data/orders.MYD";
+}
+
+void Database::arm_fault(const ActiveFault& fault) {
+  BaseApp::arm_fault(fault);
+  if (fault.fault_id == "mysql-edt-01") {
+    // The signal-mask race is realized structurally (env/interleave):
+    // handled in handle(), not by the generic hazard window.
+    fault_->realized = true;
+  }
+  sql::SqlFaultFlags flags;
+  if (fault.fault_id == "mysql-ei-01") {
+    flags.update_index_scan_bug = true;
+  } else if (fault.fault_id == "mysql-ei-02") {
+    flags.orderby_empty_missing_init = true;
+  } else if (fault.fault_id == "mysql-ei-03") {
+    flags.count_on_empty_crash = true;
+  } else if (fault.fault_id == "mysql-ei-04") {
+    flags.optimize_missing_init = true;
+  } else if (fault.fault_id == "mysql-ei-05") {
+    flags.flush_after_lock_bug = true;
+  } else {
+    engine_.set_fault_flags(flags);
+    return;
+  }
+  engine_.set_fault_flags(flags);
+  fault_->realized = true;
+}
+
+void Database::create_catalog() {
+  const auto flags = engine_.fault_flags();
+  engine_ = sql::Engine(flags);
+  engine_.execute("CREATE TABLE orders (id INT, state TEXT)");
+  engine_.execute("CREATE TABLE customers (id INT, name TEXT)");
+  engine_.execute("CREATE TABLE sessions (id INT, expires INT)");
+  engine_.execute("CREATE TABLE audit_log (id INT, entry TEXT)");  // empty
+  for (std::size_t i = 0; i < config_.orders_rows; ++i) {
+    engine_.execute("INSERT INTO orders VALUES (" + std::to_string(i) +
+                    ", 'open')");
+  }
+  for (int i = 0; i < 40; ++i) {
+    engine_.execute("INSERT INTO customers VALUES (" + std::to_string(i) +
+                    ", 'customer" + std::to_string(i) + "')");
+  }
+  for (int i = 0; i < 20; ++i) {
+    engine_.execute("INSERT INTO sessions VALUES (" + std::to_string(i) +
+                    ", " + std::to_string(100 + i) + ")");
+  }
+}
+
+bool Database::start(env::Environment& e) {
+  if (!base_start(e)) return false;
+  if (!e.network().bind_port(config_.listen_port, "mysqld")) {
+    base_stop(e);
+    return false;
+  }
+  create_catalog();
+  queries_ = 0;
+  return true;
+}
+
+StepResult Database::handle(const WorkItem& item, env::Environment& e) {
+  if (!running_) return {StepStatus::kError, "server not running"};
+  if (item.op == kRejectedOp) return {};  // wrapper answered the client
+
+  if (auto failure = check_fault(item, e); failure.has_value()) {
+    if (failure->status == StepStatus::kCrash ||
+        failure->status == StepStatus::kHang) {
+      running_ = false;
+    }
+    return *failure;
+  }
+
+  // Realized signal-mask race (mysql-edt-01): the per-query signal window.
+  // Thread A (the worker) runs ~12 atomic steps and re-computes its signal
+  // mask at step 5, applying it at step 6; a signal landing in the gap
+  // hits the torn-down handler state. Racy items model queries that
+  // coincide with signal traffic.
+  if (fault_.has_value() && fault_->fault_id == "mysql-edt-01" &&
+      item.racy &&
+      env::signal_mask_race(e.scheduler(), /*a_steps=*/12,
+                            /*mask_computed_at=*/5)) {
+    running_ = false;
+    return {StepStatus::kCrash,
+            "signal delivered between mask computation and application"};
+  }
+
+  if (util::starts_with(item.op, "CONNECT")) {
+    // New connections do a name lookup; the fixed server tolerates
+    // failures (the buggy reverse-DNS path lives in check_fault).
+    if (!item.client_address.empty()) {
+      (void)e.dns().reverse(item.client_address, e.now());
+    }
+  } else {
+    const sql::ExecResult result = engine_.execute(item.op);
+    if (result.status == sql::ExecStatus::kCrash) {
+      running_ = false;
+      return {StepStatus::kCrash, result.message};
+    }
+    // Statement errors are returned to the client, not server failures.
+    if (item.write_bytes > 0) e.disk().append(log_path_, item.write_bytes);
+  }
+
+  e.advance(1);
+  ++queries_;
+  ++state_.items_handled;
+  return {};
+}
+
+void Database::stop(env::Environment& e) { base_stop(e); }
+
+SnapshotPtr Database::snapshot() const {
+  auto snap = std::make_shared<DbSnapshot>();
+  snap->base = state_;
+  snap->engine = engine_;
+  snap->queries = queries_;
+  return snap;
+}
+
+bool Database::restore(const SnapshotPtr& snapshot, env::Environment& e) {
+  const auto* snap = dynamic_cast<const DbSnapshot*>(snapshot.get());
+  if (snap == nullptr) return false;
+  if (!base_restore(snap->base, e)) return false;
+  engine_ = snap->engine;
+  queries_ = snap->queries;
+  e.network().release_ports_of("mysqld");
+  if (!e.network().bind_port(config_.listen_port, "mysqld")) {
+    running_ = false;
+    return false;
+  }
+  return true;
+}
+
+void Database::rejuvenate(env::Environment& e) {
+  base_rejuvenate(e);
+  // Admin-driven cleanup: rotate the log, compact every table (OPTIMIZE
+  // TABLE reclaims the data file back below the size limit), release any
+  // session locks.
+  e.disk().truncate("/var/lib/mysql/mysql.log");
+  e.disk().truncate(log_path_);
+  engine_.execute("UNLOCK TABLES");
+  for (const char* table : {"orders", "customers", "sessions", "audit_log"}) {
+    if (auto* t = engine_.find_table(table)) t->compact();
+  }
+  if (!e.network().port_bound(config_.listen_port)) {
+    e.network().bind_port(config_.listen_port, "mysqld");
+  }
+}
+
+std::uint64_t Database::rows(const std::string& table) const {
+  const auto* t = engine_.find_table(table);
+  return t == nullptr ? 0 : t->row_count();
+}
+
+}  // namespace faultstudy::apps

@@ -1,0 +1,145 @@
+#include "apps/desktop.hpp"
+
+#include "env/interleave.hpp"
+#include "util/strings.hpp"
+
+namespace faultstudy::apps {
+
+struct Desktop::DesktopSnapshot : Snapshot {
+  BaseState base;
+  std::uint64_t events = 0;
+  std::uint64_t open_windows = 1;
+  int calendar_year = 1999;
+};
+
+Desktop::Desktop(const DesktopConfig& config)
+    : BaseApp(core::AppId::kGnome, "gnome-session", config.base_fds,
+              config.worker_pool),
+      config_(config) {
+  log_path_ = "/home/user/.gnome/session.log";
+}
+
+void Desktop::arm_fault(const ActiveFault& fault) {
+  BaseApp::arm_fault(fault);
+  ui_flags_ = {};
+  if (fault.fault_id == "gnome-edt-03") {
+    // The applet request-vs-removal race is realized structurally
+    // (env/interleave): handled in handle().
+    fault_->realized = true;
+  }
+  if (fault.fault_id == "gnome-ei-01") {
+    ui_flags_.pager_tab_null_deref = true;
+    fault_->realized = true;
+  } else if (fault.fault_id == "gnome-ei-02") {
+    ui_flags_.calendar_prev_local_copy = true;
+    fault_->realized = true;
+  } else if (fault.fault_id == "gnome-ei-04") {
+    ui_flags_.archive_long_overflow = true;
+    fault_->realized = true;
+  }
+}
+
+bool Desktop::start(env::Environment& e) {
+  if (!base_start(e)) return false;
+  events_ = 0;
+  open_windows_ = 1;
+  return true;
+}
+
+StepResult Desktop::handle(const WorkItem& item, env::Environment& e) {
+  if (!running_) return {StepStatus::kError, "session not running"};
+  if (item.op == kRejectedOp) return {};  // wrapper intercepted the event
+
+  if (auto failure = check_fault(item, e); failure.has_value()) {
+    if (failure->status == StepStatus::kCrash ||
+        failure->status == StepStatus::kHang) {
+      running_ = false;
+    }
+    return *failure;
+  }
+
+  // Realized applet race (gnome-edt-03): the panel processes an applet's
+  // action request over ~10 atomic steps, registering it at step 4 and
+  // validating the applet at step 5; a removal notification landing in the
+  // gap leaves a dangling reference. Racy items model applet interactions
+  // that coincide with removals.
+  if (fault_.has_value() && fault_->fault_id == "gnome-edt-03" &&
+      item.racy &&
+      env::request_removal_race(e.scheduler(), /*a_steps=*/10,
+                                /*request_registered_at=*/4)) {
+    running_ = false;
+    return {StepStatus::kCrash,
+            "applet removed between action request and validation"};
+  }
+
+  // Real toolkit paths (the gnome-ei-01/02/04 bugs live in apps/ui).
+  if (item.op == "click:pager-settings-tasklist") {
+    ui::PagerSettings settings(/*embedded=*/false, ui_flags_);
+    const auto r = settings.click_tab("tasklist");
+    if (r.status == ui::UiStatus::kCrash) {
+      running_ = false;
+      return {StepStatus::kCrash, r.detail};
+    }
+  } else if (item.op == "click:calendar-prev-year") {
+    ui::Calendar calendar(calendar_year_, ui_flags_);
+    const auto r = calendar.click_prev_year();
+    if (r.status == ui::UiStatus::kCrash) {
+      running_ = false;
+      return {StepStatus::kCrash, r.detail};
+    }
+    calendar_year_ = calendar.year();
+  } else if (util::starts_with(item.op, "open:archive")) {
+    ui::ArchiveOpener opener(ui_flags_);
+    const auto r = opener.open(3ull << 30);  // a 3 GiB tar.gz
+    if (r.status == ui::UiStatus::kCrash) {
+      running_ = false;
+      return {StepStatus::kCrash, r.detail};
+    }
+    ++open_windows_;
+  } else if (util::starts_with(item.op, "open:")) {
+    ++open_windows_;
+  } else if (util::starts_with(item.op, "save:") ||
+             util::starts_with(item.op, "edit:")) {
+    e.disk().append("/home/user/.gnome/config", item.write_bytes);
+  } else if (util::starts_with(item.op, "play:")) {
+    // Sound events borrow a descriptor for the esd socket.
+    if (e.fds().acquire("gnome-session", 1)) {
+      e.fds().release("gnome-session", 1);
+    }
+  }
+
+  e.advance(1);
+  ++events_;
+  ++state_.items_handled;
+  return {};
+}
+
+void Desktop::stop(env::Environment& e) { base_stop(e); }
+
+SnapshotPtr Desktop::snapshot() const {
+  auto snap = std::make_shared<DesktopSnapshot>();
+  snap->base = state_;
+  snap->events = events_;
+  snap->open_windows = open_windows_;
+  snap->calendar_year = calendar_year_;
+  return snap;
+}
+
+bool Desktop::restore(const SnapshotPtr& snapshot, env::Environment& e) {
+  const auto* snap = dynamic_cast<const DesktopSnapshot*>(snapshot.get());
+  if (snap == nullptr) return false;
+  if (!base_restore(snap->base, e)) return false;
+  events_ = snap->events;
+  open_windows_ = snap->open_windows;
+  calendar_year_ = snap->calendar_year;
+  return true;
+}
+
+void Desktop::rejuvenate(env::Environment& e) {
+  base_rejuvenate(e);
+  // The desktop's own recovery code re-reads the session file and closes
+  // windows whose applications died.
+  open_windows_ = 1;
+}
+
+}  // namespace faultstudy::apps

@@ -1,0 +1,87 @@
+// Statement AST for the mini SQL dialect.
+//
+// Supported statements (enough to express the study's killer queries):
+//   CREATE TABLE t (col INT, col2 TEXT, ...)
+//   INSERT INTO t VALUES (v, ...)
+//   SELECT cols|*|COUNT(*) FROM t [WHERE col OP v [AND ...]]
+//       [ORDER BY col [ASC|DESC]] [LIMIT n]
+//   UPDATE t SET col = v [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+//   OPTIMIZE TABLE t
+//   LOCK TABLES t WRITE | UNLOCK TABLES
+//   FLUSH TABLES
+// Multiple statements separated by ';'.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/sql/value.hpp"
+
+namespace faultstudy::apps::sql {
+
+enum class CompareOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+bool evaluate(CompareOp op, const Value& lhs, const Value& rhs) noexcept;
+
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+struct OrderBy {
+  std::string column;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  bool count_star = false;            ///< SELECT COUNT(*)
+  std::vector<std::string> columns;   ///< empty + !count_star => '*'
+  std::string table;
+  std::vector<Predicate> where;
+  std::optional<OrderBy> order_by;
+  std::optional<std::int64_t> limit;
+};
+
+struct InsertStatement {
+  std::string table;
+  Row values;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::string column;
+  Value value;
+  std::vector<Predicate> where;
+};
+
+struct DeleteStatement {
+  std::string table;
+  std::vector<Predicate> where;
+};
+
+struct CreateStatement {
+  std::string table;
+  Schema schema;
+};
+
+struct AdminStatement {
+  enum class Kind : std::uint8_t {
+    kOptimize,
+    kLockTables,
+    kUnlockTables,
+    kFlushTables,
+  };
+  Kind kind = Kind::kFlushTables;
+  std::string table;  ///< for optimize/lock
+};
+
+struct Statement {
+  std::variant<SelectStatement, InsertStatement, UpdateStatement,
+               DeleteStatement, CreateStatement, AdminStatement>
+      node;
+};
+
+}  // namespace faultstudy::apps::sql

@@ -1,0 +1,91 @@
+// The mini SQL engine: parser + storage + executor, with the study's five
+// described MySQL bugs implemented as real, individually-armable code
+// faults:
+//
+//   update_index_scan_bug   (mysql-ei-01) UPDATE drives the index-scan
+//       cursor and moves keys without removing the stale entry, "creating
+//       duplicate values in the index"; the post-statement index check
+//       crashes the server. The FIXED path is the paper's fix: "first
+//       scanning for all matching rows and then updating the found rows".
+//   orderby_empty_missing_init (mysql-ei-02) the sort path reads its state
+//       uninitialized when the result set is empty.
+//   count_on_empty_crash    (mysql-ei-03) COUNT(*) misses the check for
+//       empty tables.
+//   optimize_missing_init   (mysql-ei-04) OPTIMIZE TABLE uses a structure
+//       a missing initialization statement left stale.
+//   flush_after_lock_bug    (mysql-ei-05) FLUSH TABLES while the session
+//       holds a LOCK TABLES lock re-enters the lock state machine.
+//
+// The engine is value-semantic (copyable) so the Database application's
+// snapshots capture the full catalog + data + lock state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/sql/parser.hpp"
+#include "apps/sql/table.hpp"
+
+namespace faultstudy::apps::sql {
+
+struct SqlFaultFlags {
+  bool update_index_scan_bug = false;
+  bool orderby_empty_missing_init = false;
+  bool count_on_empty_crash = false;
+  bool optimize_missing_init = false;
+  bool flush_after_lock_bug = false;
+};
+
+enum class ExecStatus : std::uint8_t {
+  kOk = 0,
+  kError,  ///< statement rejected (parse error, unknown table, ...)
+  kCrash,  ///< the engine hit an injected bug: the server is gone
+};
+
+struct ExecResult {
+  ExecStatus status = ExecStatus::kOk;
+  std::string message;
+  std::vector<Row> rows;      ///< SELECT output
+  std::int64_t affected = 0;  ///< rows touched, or the COUNT(*) value
+};
+
+class Engine {
+ public:
+  explicit Engine(SqlFaultFlags flags = {}) : flags_(flags) {}
+
+  void set_fault_flags(SqlFaultFlags flags) noexcept { flags_ = flags; }
+  const SqlFaultFlags& fault_flags() const noexcept { return flags_; }
+
+  /// Parses and runs a ';'-separated statement list, stopping at the first
+  /// error or crash. Returns the last statement's result.
+  ExecResult execute(std::string_view sql);
+
+  /// Direct statement execution (parser bypass, used by tests).
+  ExecResult run(const Statement& statement);
+
+  Table* find_table(const std::string& name);
+  const Table* find_table(const std::string& name) const;
+  std::size_t table_count() const noexcept { return tables_.size(); }
+
+  bool holds_lock() const noexcept { return !locked_table_.empty(); }
+  const std::string& locked_table() const noexcept { return locked_table_; }
+
+ private:
+  ExecResult run_select(const SelectStatement& s);
+  ExecResult run_insert(const InsertStatement& s);
+  ExecResult run_update(const UpdateStatement& s);
+  ExecResult run_delete(const DeleteStatement& s);
+  ExecResult run_create(const CreateStatement& s);
+  ExecResult run_admin(const AdminStatement& s);
+
+  bool matches(const Table& table, Slot slot,
+               const std::vector<Predicate>& where, std::string* error) const;
+
+  std::map<std::string, Table> tables_;
+  std::string locked_table_;
+  SqlFaultFlags flags_;
+};
+
+}  // namespace faultstudy::apps::sql

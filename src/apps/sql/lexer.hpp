@@ -1,0 +1,33 @@
+// SQL tokenizer for the mini engine's dialect.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace faultstudy::apps::sql {
+
+enum class TokenKind : std::uint8_t {
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (uppercased)
+  kIdentifier,  ///< table / column names (case preserved)
+  kInteger,
+  kString,      ///< '...' literal, quotes stripped
+  kSymbol,      ///< ( ) , ; * = < > <= >= !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+};
+
+/// Tokenizes one statement list. Unterminated strings are errors.
+util::Result<std::vector<Token>> lex(std::string_view sql);
+
+/// True if `word` (already uppercased) is a keyword of the dialect.
+bool is_keyword(std::string_view upper);
+
+}  // namespace faultstudy::apps::sql

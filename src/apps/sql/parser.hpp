@@ -1,0 +1,15 @@
+// Recursive-descent parser for the mini SQL dialect.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "apps/sql/ast.hpp"
+#include "util/result.hpp"
+
+namespace faultstudy::apps::sql {
+
+/// Parses a ';'-separated statement list. Empty statements are skipped.
+util::Result<std::vector<Statement>> parse(std::string_view sql);
+
+}  // namespace faultstudy::apps::sql

@@ -1,0 +1,28 @@
+#include "apps/sql/value.hpp"
+
+namespace faultstudy::apps::sql {
+
+std::string to_string(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  return std::get<std::string>(v);
+}
+
+int compare(const Value& a, const Value& b) noexcept {
+  if (a.index() != b.index()) return a.index() < b.index() ? -1 : 1;
+  if (const auto* ia = std::get_if<std::int64_t>(&a)) {
+    const auto ib = std::get<std::int64_t>(b);
+    return *ia < ib ? -1 : (*ia > ib ? 1 : 0);
+  }
+  const auto& sa = std::get<std::string>(a);
+  const auto& sb = std::get<std::string>(b);
+  return sa < sb ? -1 : (sa > sb ? 1 : 0);
+}
+
+int Schema::find(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace faultstudy::apps::sql

@@ -1,0 +1,40 @@
+// Values and rows for the mini SQL engine.
+//
+// The engine exists so that the MySQL faults the paper describes can be
+// real code bugs exercised by real queries, not abstract flags: COUNT on an
+// empty table, ORDER BY over zero rows, OPTIMIZE TABLE, FLUSH after LOCK,
+// and the update-while-scanning index corruption. Two column types are
+// enough for those.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace faultstudy::apps::sql {
+
+using Value = std::variant<std::int64_t, std::string>;
+
+std::string to_string(const Value& v);
+
+/// Three-way comparison; integers before strings for cross-type order.
+int compare(const Value& a, const Value& b) noexcept;
+
+using Row = std::vector<Value>;
+
+enum class ColumnType : std::uint8_t { kInteger, kText };
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInteger;
+};
+
+struct Schema {
+  std::vector<Column> columns;
+
+  /// Index of a column by name; -1 when absent.
+  int find(const std::string& name) const noexcept;
+};
+
+}  // namespace faultstudy::apps::sql

@@ -1,0 +1,121 @@
+#include "apps/ui/toolkit.hpp"
+
+#include "util/strings.hpp"
+
+namespace faultstudy::apps::ui {
+
+Widget& Widget::add_child(std::string name) {
+  children_.push_back(std::make_unique<Widget>(std::move(name)));
+  return *children_.back();
+}
+
+Widget* Widget::child(std::string_view name) noexcept {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Widget* Widget::find(std::string_view path) noexcept {
+  Widget* node = this;
+  for (const auto segment : util::split(path, '/')) {
+    if (segment.empty()) continue;
+    node = node->child(segment);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+PagerSettings::PagerSettings(bool embedded, UiFaultFlags flags)
+    : flags_(flags) {
+  auto& tabs = root_.add_child("tabs");
+  tabs.add_child("layout");
+  tabs.add_child("appearance");
+  tabs.add_child("tasklist");
+  auto& pages = root_.add_child("pages");
+  pages.add_child("layout-page");
+  pages.add_child("appearance-page");
+  // The tasklist page only exists when the pager is embedded in the panel —
+  // exactly the situation the buggy handler never considered.
+  if (embedded) pages.add_child("tasklist-page");
+}
+
+UiResult PagerSettings::click_tab(std::string_view tab) {
+  Widget* tab_widget = root_.find("tabs/" + std::string(tab));
+  if (tab_widget == nullptr) return {UiStatus::kIgnored, "no such tab"};
+
+  const std::string page_path = "pages/" + std::string(tab) + "-page";
+  Widget* page = root_.find(page_path);
+
+  if (flags_.pager_tab_null_deref) {
+    // The buggy handler dereferences the page unconditionally.
+    if (page == nullptr) {
+      return {UiStatus::kCrash,
+              "segfault: tab handler dereferenced the missing '" +
+                  std::string(tab) + "' page widget"};
+    }
+  } else if (page == nullptr) {
+    // The fixed handler checks and falls back to the first page.
+    return {UiStatus::kIgnored, "page not available in this mode"};
+  }
+  return {};
+}
+
+Calendar::Calendar(int year, UiFaultFlags flags)
+    : flags_(flags), year_(year), cache_base_year_(year) {
+  cache_.push_back("rendered-" + std::to_string(year));
+}
+
+UiResult Calendar::rebuild_cache(int handler_year) {
+  // The render cache holds one page, for cache_base_year_. A correct
+  // handler keeps year_ and the base in lockstep; the cache index below is
+  // then always 0.
+  const int index = handler_year - cache_base_year_;
+  if (index < 0 || static_cast<std::size_t>(index) >= cache_.size()) {
+    return {UiStatus::kCrash,
+            "out-of-range year-cache index " + std::to_string(index) +
+                " (year and cache base diverged)"};
+  }
+  cache_[static_cast<std::size_t>(index)] =
+      "rendered-" + std::to_string(handler_year);
+  return {};
+}
+
+UiResult Calendar::click_prev_year() {
+  if (flags_.calendar_prev_local_copy) {
+    // The bug: the handler decrements a LOCAL copy of the year; the global
+    // year_ stays put while the cache base moves — on the next rebuild the
+    // index computed from the stale global is out of range.
+    int year = year_;  // local copy — the assignment below never escapes
+    --year;
+    --cache_base_year_;
+    return rebuild_cache(year_);  // global year_, one ahead of the base
+  }
+  --year_;
+  --cache_base_year_;
+  return rebuild_cache(year_);
+}
+
+UiResult Calendar::click_next_year() {
+  ++year_;
+  ++cache_base_year_;
+  return rebuild_cache(year_);
+}
+
+UiResult ArchiveOpener::open(std::uint64_t payload_bytes) {
+  if (flags_.archive_long_overflow) {
+    // The bug: the size is read through a signed 32-bit variable
+    // ("declared as 'long' instead of 'unsigned long'" on a 32-bit
+    // platform). Archives past 2 GiB go negative.
+    const auto size = static_cast<std::int32_t>(payload_bytes);
+    if (size < 0) {
+      return {UiStatus::kCrash,
+              "extraction buffer allocation with negative size (signed "
+              "overflow of the archive length)"};
+    }
+  }
+  // The fixed path keeps the full unsigned width.
+  return {};
+}
+
+}  // namespace faultstudy::apps::ui

@@ -1,0 +1,58 @@
+#include "core/aggregate.hpp"
+
+#include <algorithm>
+
+namespace faultstudy::core {
+
+ClassCounts tally(std::span<const Fault> faults) {
+  ClassCounts c;
+  for (const Fault& f : faults) ++c[f.fault_class];
+  return c;
+}
+
+ClassCounts tally_app(std::span<const Fault> faults, AppId app) {
+  ClassCounts c;
+  for (const Fault& f : faults) {
+    if (f.app == app) ++c[f.fault_class];
+  }
+  return c;
+}
+
+std::map<int, ClassCounts> tally_by_bucket(std::span<const Fault> faults,
+                                           AppId app) {
+  std::map<int, ClassCounts> buckets;
+  for (const Fault& f : faults) {
+    if (f.app == app) ++buckets[f.bucket][f.fault_class];
+  }
+  return buckets;
+}
+
+StudySummary summarize(std::span<const Fault> faults) {
+  StudySummary s;
+  s.total_faults = faults.size();
+  s.overall = tally(faults);
+  for (AppId app : kAllApps) {
+    s.per_app[static_cast<std::size_t>(app)] = tally_app(faults, app);
+  }
+
+  bool first = true;
+  for (AppId app : kAllApps) {
+    const ClassCounts& c = s.per_app[static_cast<std::size_t>(app)];
+    if (c.total() == 0) continue;
+    const double ei = c.fraction(FaultClass::kEnvironmentIndependent);
+    const double edt = c.fraction(FaultClass::kEnvDependentTransient);
+    if (first) {
+      s.min_ei_fraction = s.max_ei_fraction = ei;
+      s.min_edt_fraction = s.max_edt_fraction = edt;
+      first = false;
+    } else {
+      s.min_ei_fraction = std::min(s.min_ei_fraction, ei);
+      s.max_ei_fraction = std::max(s.max_ei_fraction, ei);
+      s.min_edt_fraction = std::min(s.min_edt_fraction, edt);
+      s.max_edt_fraction = std::max(s.max_edt_fraction, edt);
+    }
+  }
+  return s;
+}
+
+}  // namespace faultstudy::core

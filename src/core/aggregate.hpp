@@ -1,0 +1,69 @@
+// Aggregation of classified faults into the paper's headline numbers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+
+namespace faultstudy::core {
+
+/// Counts per fault class (the row values of Tables 1-3).
+struct ClassCounts {
+  std::array<std::size_t, 3> counts{};
+
+  std::size_t& operator[](FaultClass c) {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  std::size_t operator[](FaultClass c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+
+  std::size_t total() const noexcept {
+    return counts[0] + counts[1] + counts[2];
+  }
+
+  double fraction(FaultClass c) const noexcept {
+    const auto n = total();
+    return n == 0 ? 0.0
+                  : static_cast<double>((*this)[c]) / static_cast<double>(n);
+  }
+
+  ClassCounts& operator+=(const ClassCounts& other) noexcept {
+    for (std::size_t i = 0; i < 3; ++i) counts[i] += other.counts[i];
+    return *this;
+  }
+};
+
+/// Tallies class counts over a set of faults.
+ClassCounts tally(std::span<const Fault> faults);
+
+/// Class counts restricted to one application.
+ClassCounts tally_app(std::span<const Fault> faults, AppId app);
+
+/// Class counts per bucket (release ordinal / time period), the data series
+/// behind Figures 1-3. Buckets are returned sorted by key.
+std::map<int, ClassCounts> tally_by_bucket(std::span<const Fault> faults,
+                                           AppId app);
+
+/// The paper's Section 5.4 roll-up across all applications.
+struct StudySummary {
+  std::size_t total_faults = 0;
+  ClassCounts overall;
+  std::array<ClassCounts, 3> per_app;  // indexed by AppId
+
+  /// min/max per-app fraction of environment-independent faults — the
+  /// "72-87%" spread quoted in the abstract.
+  double min_ei_fraction = 0.0;
+  double max_ei_fraction = 0.0;
+  /// min/max per-app fraction of transient faults — the "5-14%" spread.
+  double min_edt_fraction = 0.0;
+  double max_edt_fraction = 0.0;
+};
+
+StudySummary summarize(std::span<const Fault> faults);
+
+}  // namespace faultstudy::core

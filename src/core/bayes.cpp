@@ -1,0 +1,78 @@
+#include "core/bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/tokenizer.hpp"
+
+namespace faultstudy::core {
+
+std::vector<std::string> BayesClassifier::features(const ReportText& report) {
+  std::string joined = report.title;
+  joined += ' ';
+  joined += report.body;
+  joined += ' ';
+  joined += report.how_to_repeat;
+  joined += ' ';
+  joined += report.developer_comments;
+
+  auto tokens =
+      text::stem_all(text::remove_stopwords(text::tokenize(joined)));
+  auto bigrams = text::ngrams(tokens, 2);
+  tokens.insert(tokens.end(), std::make_move_iterator(bigrams.begin()),
+                std::make_move_iterator(bigrams.end()));
+  return tokens;
+}
+
+void BayesClassifier::train(const ReportText& report, FaultClass label) {
+  const auto c = static_cast<std::size_t>(label);
+  ++class_docs_[c];
+  for (auto& f : features(report)) {
+    ++vocab_[std::move(f)][c];
+    ++class_tokens_[c];
+  }
+}
+
+std::size_t BayesClassifier::training_count() const noexcept {
+  return class_docs_[0] + class_docs_[1] + class_docs_[2];
+}
+
+std::array<double, 3> BayesClassifier::log_posterior(
+    const ReportText& report) const {
+  std::array<double, 3> lp{};
+  const double total_docs = static_cast<double>(training_count());
+  const double v = static_cast<double>(vocab_.size());
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    // Smoothed class prior; with no data this degenerates to uniform.
+    lp[c] = std::log((class_docs_[c] + alpha_) / (total_docs + 3.0 * alpha_));
+  }
+  for (const auto& f : features(report)) {
+    auto it = vocab_.find(f);
+    // The feature space is fixed at fit time: tokens outside the training
+    // vocabulary carry no information about the class and are dropped.
+    // (Scoring them via smoothing alone systematically favors the class
+    // with the fewest training tokens.)
+    if (it == vocab_.end()) continue;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const double count = it->second[c];
+      lp[c] += std::log((count + alpha_) /
+                        (static_cast<double>(class_tokens_[c]) + alpha_ * (v + 1.0)));
+    }
+  }
+  return lp;
+}
+
+FaultClass BayesClassifier::classify(const ReportText& report) const {
+  if (training_count() == 0) return FaultClass::kEnvironmentIndependent;
+  const auto lp = log_posterior(report);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < 3; ++c) {
+    if (lp[c] > lp[best]) best = c;
+  }
+  return static_cast<FaultClass>(best);
+}
+
+}  // namespace faultstudy::core

@@ -1,0 +1,83 @@
+#include "core/eval.hpp"
+
+#include "util/strings.hpp"
+
+namespace faultstudy::core {
+
+void ConfusionMatrix::add(FaultClass truth, FaultClass predicted) noexcept {
+  ++cells_[static_cast<std::size_t>(truth)][static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::count(FaultClass truth,
+                                   FaultClass predicted) const noexcept {
+  return cells_[static_cast<std::size_t>(truth)]
+               [static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::total() const noexcept {
+  std::size_t n = 0;
+  for (const auto& row : cells_) {
+    for (auto v : row) n += v;
+  }
+  return n;
+}
+
+std::size_t ConfusionMatrix::correct() const noexcept {
+  return cells_[0][0] + cells_[1][1] + cells_[2][2];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  const auto n = total();
+  return n == 0 ? 0.0 : static_cast<double>(correct()) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::kappa() const noexcept {
+  const auto n = static_cast<double>(total());
+  if (n == 0.0) return 1.0;
+  const double po = accuracy();
+  double pe = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    double row = 0.0, col = 0.0;
+    for (std::size_t k = 0; k < 3; ++k) {
+      row += static_cast<double>(cells_[c][k]);
+      col += static_cast<double>(cells_[k][c]);
+    }
+    pe += (row / n) * (col / n);
+  }
+  if (pe >= 1.0) return po >= 1.0 ? 1.0 : 0.0;
+  return (po - pe) / (1.0 - pe);
+}
+
+double ConfusionMatrix::precision(FaultClass c) const noexcept {
+  const auto ci = static_cast<std::size_t>(c);
+  std::size_t col = 0;
+  for (std::size_t k = 0; k < 3; ++k) col += cells_[k][ci];
+  return col == 0 ? 0.0
+                  : static_cast<double>(cells_[ci][ci]) /
+                        static_cast<double>(col);
+}
+
+double ConfusionMatrix::recall(FaultClass c) const noexcept {
+  const auto ci = static_cast<std::size_t>(c);
+  std::size_t row = 0;
+  for (std::size_t k = 0; k < 3; ++k) row += cells_[ci][k];
+  return row == 0 ? 0.0
+                  : static_cast<double>(cells_[ci][ci]) /
+                        static_cast<double>(row);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::string out = "truth \\ predicted      EI    EDN    EDT\n";
+  for (FaultClass truth : kAllFaultClasses) {
+    out += util::pad_right(core::to_string(truth), 20);
+    for (FaultClass pred : kAllFaultClasses) {
+      out += util::pad_left(std::to_string(count(truth, pred)), 7);
+    }
+    out += '\n';
+  }
+  out += "accuracy=" + util::fixed(accuracy(), 3) +
+         " kappa=" + util::fixed(kappa(), 3) + "\n";
+  return out;
+}
+
+}  // namespace faultstudy::core

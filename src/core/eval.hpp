@@ -1,0 +1,44 @@
+// Classifier evaluation: confusion matrices, accuracy, Cohen's kappa.
+//
+// Used in the ablation comparing the rule classifier against the naive-Bayes
+// comparator, and in tests asserting the pipeline recovers the curated
+// ground truth.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "core/taxonomy.hpp"
+
+namespace faultstudy::core {
+
+/// 3x3 confusion matrix over fault classes; rows = truth, cols = predicted.
+class ConfusionMatrix {
+ public:
+  void add(FaultClass truth, FaultClass predicted) noexcept;
+
+  std::size_t count(FaultClass truth, FaultClass predicted) const noexcept;
+  std::size_t total() const noexcept;
+  std::size_t correct() const noexcept;
+
+  double accuracy() const noexcept;
+
+  /// Cohen's kappa: agreement corrected for chance. 1 = perfect,
+  /// 0 = chance-level, negative = worse than chance. Returns 1 when the
+  /// matrix is empty or expected agreement is 1 (degenerate marginals with
+  /// perfect observed agreement).
+  double kappa() const noexcept;
+
+  /// Per-class precision / recall (0 when undefined).
+  double precision(FaultClass c) const noexcept;
+  double recall(FaultClass c) const noexcept;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+
+ private:
+  std::array<std::array<std::size_t, 3>, 3> cells_{};
+};
+
+}  // namespace faultstudy::core

@@ -1,0 +1,81 @@
+#include "core/rules.hpp"
+
+#include <cassert>
+
+namespace faultstudy::core {
+
+namespace {
+constexpr FaultClass kEI = FaultClass::kEnvironmentIndependent;
+constexpr FaultClass kEDN = FaultClass::kEnvDependentNonTransient;
+constexpr FaultClass kEDT = FaultClass::kEnvDependentTransient;
+
+// Indexed by static_cast<size_t>(Trigger). Rationales paraphrase Section 5.
+constexpr Ruling kRulings[kNumTriggers] = {
+    // environment-independent
+    {kEI, false, "same workload always reaches the same boundary condition"},
+    {kEI, false, "uninitialized use is deterministic for a given workload"},
+    {kEI, false, "wrong-variable bugs replay identically"},
+    {kEI, false, "API contract violation replays identically"},
+    {kEI, false, "the leak accumulates again on every re-execution"},
+    {kEI, false, "the handler misbehaves every time the signal arrives"},
+    {kEI, false, "state-machine errors replay identically"},
+    {kEI, false, "the UI event sequence is part of the workload, not the environment"},
+    // environment-dependent-nontransient
+    {kEDN, false, "generic recovery restores all app state, so the leak survives recovery"},
+    {kEDN, false, "a truly generic mechanism restores the fd table as part of app state"},
+    {kEDN, false, "the on-disk cache is application state and is preserved"},
+    {kEDN, false, "the oversized file persists across recovery"},
+    {kEDN, false, "nothing in generic recovery frees disk space"},
+    {kEDN, false, "the exhausted network resource is not replenished by recovery"},
+    {kEDN, false, "recovery does not reinsert the removed card"},
+    {kEDN, false, "the hostname stays changed after recovery"},
+    {kEDN, false, "the other program's leaked sockets remain open"},
+    {kEDN, false, "the illegal metadata value is still on disk after recovery"},
+    {kEDN, false, "reverse DNS remains unconfigured on retry"},
+    // environment-dependent-transient
+    {kEDT, true, "the DNS server is likely restarted/fixed before or during retry"},
+    {kEDT, true, "recovery kills all processes of the app, freeing the slots"},
+    {kEDT, true, "the exact user-action timing is unlikely to repeat"},
+    {kEDT, true, "recovery kills hung children, releasing the ports"},
+    {kEDT, true, "slow DNS is usually fixed without app-specific help"},
+    {kEDT, true, "the network is likely recovered by the time the app retries"},
+    {kEDT, true, "more entropy-generating events accrue during recovery"},
+    {kEDT, true, "a retry draws a different thread/signal interleaving"},
+    {kEDT, true, "the unknown condition did not recur on retry"},
+};
+}  // namespace
+
+const Ruling& default_ruling(Trigger t) noexcept {
+  const auto i = static_cast<std::size_t>(t);
+  assert(i < kNumTriggers);
+  return kRulings[i];
+}
+
+FaultClass fault_class_of(Trigger t) noexcept {
+  return default_ruling(t).fault_class;
+}
+
+RulePolicy::RulePolicy() {
+  for (std::size_t i = 0; i < kNumTriggers; ++i) {
+    classes_[i] = kRulings[i].fault_class;
+  }
+}
+
+void RulePolicy::reclassify(Trigger t, FaultClass as) {
+  auto& slot = classes_[static_cast<std::size_t>(t)];
+  const FaultClass paper = kRulings[static_cast<std::size_t>(t)].fault_class;
+  if (slot != paper && as == paper) {
+    --overrides_;  // reverting an earlier override
+  } else if (slot == paper && as != paper) {
+    ++overrides_;
+  }
+  slot = as;
+}
+
+FaultClass RulePolicy::classify(Trigger t) const noexcept {
+  return classes_[static_cast<std::size_t>(t)];
+}
+
+std::size_t RulePolicy::override_count() const noexcept { return overrides_; }
+
+}  // namespace faultstudy::core

@@ -1,0 +1,54 @@
+// Classification rules: Trigger -> FaultClass, with rationale.
+//
+// Section 5.4 of the paper concedes that the EDN/EDT split "is subjective
+// and depends upon the recovery system in place". This module makes the
+// subjectivity explicit and configurable: each trigger carries the default
+// (paper) ruling plus the environmental assumption behind it, and a
+// RulePolicy can flip individual rulings (e.g. a system that auto-grows
+// disk quota reclassifies kFullFileSystem as transient).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "core/taxonomy.hpp"
+
+namespace faultstudy::core {
+
+/// Why a trigger lands in its class — the recovery-time reasoning.
+struct Ruling {
+  FaultClass fault_class;
+  /// Whether a *truly generic* recovery pass (which restores all application
+  /// state) changes the triggering condition. EI triggers have no such
+  /// condition; EDN conditions persist; EDT conditions change.
+  bool condition_changes_on_retry;
+  std::string_view rationale;
+};
+
+/// The paper's default ruling for a trigger.
+const Ruling& default_ruling(Trigger t) noexcept;
+
+/// Shorthand for default_ruling(t).fault_class.
+FaultClass fault_class_of(Trigger t) noexcept;
+
+/// A policy is the paper's rulings plus any number of overrides.
+class RulePolicy {
+ public:
+  /// Default-constructed policy == the paper's rulings.
+  RulePolicy();
+
+  /// Overrides the class of one trigger (e.g. modelling an environment that
+  /// automatically grows full file systems).
+  void reclassify(Trigger t, FaultClass as);
+
+  FaultClass classify(Trigger t) const noexcept;
+
+  /// Number of triggers whose ruling differs from the paper's.
+  std::size_t override_count() const noexcept;
+
+ private:
+  std::array<FaultClass, kNumTriggers> classes_;
+  std::size_t overrides_ = 0;
+};
+
+}  // namespace faultstudy::core

@@ -1,0 +1,201 @@
+#include "core/taxonomy.hpp"
+
+namespace faultstudy::core {
+
+std::string_view to_string(FaultClass c) noexcept {
+  switch (c) {
+    case FaultClass::kEnvironmentIndependent:
+      return "environment-independent";
+    case FaultClass::kEnvDependentNonTransient:
+      return "environment-dependent-nontransient";
+    case FaultClass::kEnvDependentTransient:
+      return "environment-dependent-transient";
+  }
+  return "?";
+}
+
+std::string_view to_code(FaultClass c) noexcept {
+  switch (c) {
+    case FaultClass::kEnvironmentIndependent:
+      return "EI";
+    case FaultClass::kEnvDependentNonTransient:
+      return "EDN";
+    case FaultClass::kEnvDependentTransient:
+      return "EDT";
+  }
+  return "?";
+}
+
+std::optional<FaultClass> fault_class_from_code(std::string_view code) noexcept {
+  if (code == "EI") return FaultClass::kEnvironmentIndependent;
+  if (code == "EDN") return FaultClass::kEnvDependentNonTransient;
+  if (code == "EDT") return FaultClass::kEnvDependentTransient;
+  return std::nullopt;
+}
+
+std::string_view to_string(Symptom s) noexcept {
+  switch (s) {
+    case Symptom::kCrash:
+      return "crash";
+    case Symptom::kErrorReturn:
+      return "error-return";
+    case Symptom::kHang:
+      return "hang";
+    case Symptom::kSecurity:
+      return "security";
+    case Symptom::kResourceBloat:
+      return "resource-bloat";
+  }
+  return "?";
+}
+
+std::string_view to_string(Trigger t) noexcept {
+  switch (t) {
+    case Trigger::kBoundaryInput:
+      return "boundary-input";
+    case Trigger::kMissingInitialization:
+      return "missing-initialization";
+    case Trigger::kWrongVariableUsage:
+      return "wrong-variable-usage";
+    case Trigger::kApiMisuse:
+      return "api-misuse";
+    case Trigger::kDeterministicLeak:
+      return "deterministic-leak";
+    case Trigger::kSignalHandlingBug:
+      return "signal-handling-bug";
+    case Trigger::kLogicError:
+      return "logic-error";
+    case Trigger::kUiEventSequence:
+      return "ui-event-sequence";
+    case Trigger::kResourceLeakUnderLoad:
+      return "resource-leak-under-load";
+    case Trigger::kFdExhaustion:
+      return "fd-exhaustion";
+    case Trigger::kDiskCacheFull:
+      return "disk-cache-full";
+    case Trigger::kFileSizeLimit:
+      return "file-size-limit";
+    case Trigger::kFullFileSystem:
+      return "full-file-system";
+    case Trigger::kNetworkResourceExhausted:
+      return "network-resource-exhausted";
+    case Trigger::kHardwareRemoval:
+      return "hardware-removal";
+    case Trigger::kHostnameChanged:
+      return "hostname-changed";
+    case Trigger::kExternalSocketLeak:
+      return "external-socket-leak";
+    case Trigger::kCorruptFileMetadata:
+      return "corrupt-file-metadata";
+    case Trigger::kReverseDnsMissing:
+      return "reverse-dns-missing";
+    case Trigger::kDnsError:
+      return "dns-error";
+    case Trigger::kProcessTableFull:
+      return "process-table-full";
+    case Trigger::kWorkloadTiming:
+      return "workload-timing";
+    case Trigger::kPortsHeldByChildren:
+      return "ports-held-by-children";
+    case Trigger::kDnsSlow:
+      return "dns-slow";
+    case Trigger::kNetworkSlow:
+      return "network-slow";
+    case Trigger::kEntropyShortage:
+      return "entropy-shortage";
+    case Trigger::kRaceCondition:
+      return "race-condition";
+    case Trigger::kUnknownTransient:
+      return "unknown-transient";
+    case Trigger::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string_view describe(Trigger t) noexcept {
+  switch (t) {
+    case Trigger::kBoundaryInput:
+      return "input at an untested boundary condition (size, emptiness, length)";
+    case Trigger::kMissingInitialization:
+      return "a variable or structure used before being initialized";
+    case Trigger::kWrongVariableUsage:
+      return "the wrong variable, copy, or declared type is used";
+    case Trigger::kApiMisuse:
+      return "a library API used contrary to its contract";
+    case Trigger::kDeterministicLeak:
+      return "memory leaked on every execution of a code path";
+    case Trigger::kSignalHandlingBug:
+      return "a signal handler does the wrong thing deterministically";
+    case Trigger::kLogicError:
+      return "an algorithmic or state-machine error";
+    case Trigger::kUiEventSequence:
+      return "a specific sequence of UI events";
+    case Trigger::kResourceLeakUnderLoad:
+      return "high load exposes a resource leak held by the application";
+    case Trigger::kFdExhaustion:
+      return "the process has no file descriptors left";
+    case Trigger::kDiskCacheFull:
+      return "the application's disk cache is full";
+    case Trigger::kFileSizeLimit:
+      return "a file has reached the maximum allowed file size";
+    case Trigger::kFullFileSystem:
+      return "the file system is full";
+    case Trigger::kNetworkResourceExhausted:
+      return "an (unknown) network resource is exhausted";
+    case Trigger::kHardwareRemoval:
+      return "a hardware device was removed while in use";
+    case Trigger::kHostnameChanged:
+      return "the host's name changed while the application was running";
+    case Trigger::kExternalSocketLeak:
+      return "another program leaked sockets, starving this one";
+    case Trigger::kCorruptFileMetadata:
+      return "a file carries an illegal metadata value";
+    case Trigger::kReverseDnsMissing:
+      return "reverse DNS is not configured for a connecting host";
+    case Trigger::kDnsError:
+      return "a DNS lookup returned an error";
+    case Trigger::kProcessTableFull:
+      return "hung children filled the OS process table";
+    case Trigger::kWorkloadTiming:
+      return "the exact timing of a user action (e.g. stop mid-download)";
+    case Trigger::kPortsHeldByChildren:
+      return "hung children hold the network ports the app needs";
+    case Trigger::kDnsSlow:
+      return "a DNS server responds too slowly";
+    case Trigger::kNetworkSlow:
+      return "the network is temporarily slow";
+    case Trigger::kEntropyShortage:
+      return "/dev/random has too little entropy";
+    case Trigger::kRaceCondition:
+      return "a specific interleaving of threads or signal delivery";
+    case Trigger::kUnknownTransient:
+      return "an unknown condition that did not recur on retry";
+    case Trigger::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::vector<Trigger> all_triggers() {
+  std::vector<Trigger> out;
+  out.reserve(kNumTriggers);
+  for (std::size_t i = 0; i < kNumTriggers; ++i) {
+    out.push_back(static_cast<Trigger>(i));
+  }
+  return out;
+}
+
+std::string_view to_string(AppId a) noexcept {
+  switch (a) {
+    case AppId::kApache:
+      return "Apache";
+    case AppId::kGnome:
+      return "GNOME";
+    case AppId::kMysql:
+      return "MySQL";
+  }
+  return "?";
+}
+
+}  // namespace faultstudy::core

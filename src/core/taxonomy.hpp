@@ -1,0 +1,129 @@
+// The paper's fault taxonomy (Section 3).
+//
+// Faults are classified by their dependence on the *operating environment*:
+// everything outside the application under study (other programs, the
+// kernel, hardware events, and the timing — though not the content — of the
+// workload). Given a fixed environment, a set of concurrent sequential
+// processes is deterministic [Dijkstra72], so environment dependence is
+// exactly what separates deterministic Bohrbugs from transient Heisenbugs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faultstudy::core {
+
+/// The paper's three-way classification.
+enum class FaultClass : std::uint8_t {
+  /// Occurs independent of the operating environment. Deterministic given
+  /// the workload; generic recovery cannot survive it.
+  kEnvironmentIndependent = 0,
+  /// Triggered by an environmental condition that is likely to PERSIST when
+  /// the operation is retried (e.g. a full disk).
+  kEnvDependentNonTransient = 1,
+  /// Triggered by an environmental condition that is likely to be FIXED on
+  /// retry (e.g. a thread interleaving). The classic Heisenbug.
+  kEnvDependentTransient = 2,
+};
+
+inline constexpr FaultClass kAllFaultClasses[] = {
+    FaultClass::kEnvironmentIndependent,
+    FaultClass::kEnvDependentNonTransient,
+    FaultClass::kEnvDependentTransient,
+};
+
+std::string_view to_string(FaultClass c) noexcept;
+/// Short codes used in CSV output: "EI", "EDN", "EDT".
+std::string_view to_code(FaultClass c) noexcept;
+std::optional<FaultClass> fault_class_from_code(std::string_view code) noexcept;
+
+/// High-impact failure symptoms the study selects on (Section 4): crash,
+/// error return, security problem, or hang.
+enum class Symptom : std::uint8_t {
+  kCrash = 0,        ///< segfault / core dump / abort
+  kErrorReturn = 1,  ///< operation fails with an error condition
+  kHang = 2,         ///< stops responding
+  kSecurity = 3,     ///< security problem
+  kResourceBloat = 4,///< unbounded growth eventually causing failure
+};
+
+std::string_view to_string(Symptom s) noexcept;
+
+/// Ontology of trigger conditions, one per distinct mechanism the paper
+/// describes in Sections 5.1-5.3. Each trigger implies a fault class via
+/// rules::fault_class_of (subjective calls are documented there).
+enum class Trigger : std::uint8_t {
+  // -- environment-independent mechanisms (deterministic code bugs) --
+  kBoundaryInput = 0,        ///< long URL hash overflow; zero-entry dir; empty table
+  kMissingInitialization,    ///< "order by" on zero rows; OPTIMIZE TABLE crash
+  kWrongVariableUsage,       ///< local vs global copy; long vs unsigned long
+  kApiMisuse,                ///< va_list reused without va_end/va_start
+  kDeterministicLeak,        ///< shared-memory segment grows without bound
+  kSignalHandlingBug,        ///< SIGHUP kills instead of restarting
+  kLogicError,               ///< update-while-scanning index; FLUSH after LOCK
+  kUiEventSequence,          ///< clicking a tab/button crashes the app
+
+  // -- environment-dependent, condition persists on retry --
+  kResourceLeakUnderLoad,    ///< high load leading to unknown resource leak
+  kFdExhaustion,             ///< out of file descriptors (incl. competition)
+  kDiskCacheFull,            ///< app's disk cache full, no more temp files
+  kFileSizeLimit,            ///< log/db file exceeds max allowed file size
+  kFullFileSystem,           ///< file system full
+  kNetworkResourceExhausted, ///< unknown network resource exhausted
+  kHardwareRemoval,          ///< PCMCIA network card removed
+  kHostnameChanged,          ///< hostname changed while app running
+  kExternalSocketLeak,       ///< sockets left open by other utilities
+  kCorruptFileMetadata,      ///< illegal value in file owner field
+  kReverseDnsMissing,        ///< reverse DNS not configured for remote host
+
+  // -- environment-dependent, condition likely fixed on retry --
+  kDnsError,                 ///< DNS call returns an error
+  kProcessTableFull,         ///< hung children consume all process slots
+  kWorkloadTiming,           ///< user presses stop mid-download
+  kPortsHeldByChildren,      ///< hung children hold required network ports
+  kDnsSlow,                  ///< slow DNS response
+  kNetworkSlow,              ///< slow network connection
+  kEntropyShortage,          ///< /dev/random starved of events
+  kRaceCondition,            ///< thread/signal interleaving
+  kUnknownTransient,         ///< unknown failure that works on retry
+
+  kCount,  // sentinel
+};
+
+inline constexpr std::size_t kNumTriggers =
+    static_cast<std::size_t>(Trigger::kCount);
+
+std::string_view to_string(Trigger t) noexcept;
+
+/// One-line description of the mechanism, suitable for reports.
+std::string_view describe(Trigger t) noexcept;
+
+/// All triggers in declaration order.
+std::vector<Trigger> all_triggers();
+
+/// The applications studied.
+enum class AppId : std::uint8_t { kApache = 0, kGnome = 1, kMysql = 2 };
+
+inline constexpr AppId kAllApps[] = {AppId::kApache, AppId::kGnome,
+                                     AppId::kMysql};
+
+std::string_view to_string(AppId a) noexcept;
+
+/// A classified fault: the unit of the study. Identity is `id`; the class
+/// and trigger may come from curated ground truth (seed data transcribed
+/// from the paper) or from a classifier.
+struct Fault {
+  std::string id;       ///< stable identifier, e.g. "apache-edt-03"
+  AppId app = AppId::kApache;
+  std::string title;
+  Symptom symptom = Symptom::kCrash;
+  Trigger trigger = Trigger::kBoundaryInput;
+  FaultClass fault_class = FaultClass::kEnvironmentIndependent;
+  /// Release ordinal (Apache/MySQL figures) or time bucket (GNOME figure).
+  int bucket = 0;
+};
+
+}  // namespace faultstudy::core

@@ -1,0 +1,49 @@
+#include "corpus/mailinglist.hpp"
+
+#include <unordered_set>
+
+namespace faultstudy::corpus {
+
+std::uint64_t MailingList::add(MailMessage message) {
+  if (message.id == 0) message.id = next_id_++;
+  else if (message.id >= next_id_) next_id_ = message.id + 1;
+  if (message.thread_id == 0) message.thread_id = message.id;
+  const std::uint64_t id = message.id;
+  messages_.push_back(std::move(message));
+  return id;
+}
+
+const MailMessage* MailingList::find(std::uint64_t id) const noexcept {
+  for (const auto& m : messages_) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<const MailMessage*> MailingList::thread(
+    std::uint64_t thread_id) const {
+  std::vector<const MailMessage*> out;
+  for (const auto& m : messages_) {
+    if (m.thread_id == thread_id) out.push_back(&m);
+  }
+  return out;
+}
+
+std::vector<MailMessage> MailingList::select(
+    const std::function<bool(const MailMessage&)>& pred) const {
+  std::vector<MailMessage> out;
+  for (const auto& m : messages_) {
+    if (pred(m)) out.push_back(m);
+  }
+  return out;
+}
+
+std::size_t MailingList::distinct_faults() const {
+  std::unordered_set<std::string> ids;
+  for (const auto& m : messages_) {
+    if (!m.fault_id.empty()) ids.insert(m.fault_id);
+  }
+  return ids.size();
+}
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,37 @@
+// An in-memory mailing-list archive (the MySQL fault source).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "corpus/report.hpp"
+
+namespace faultstudy::corpus {
+
+class MailingList {
+ public:
+  /// Adds a message; assigns the next id if message.id is zero. A message
+  /// with thread_id 0 starts a new thread rooted at itself.
+  std::uint64_t add(MailMessage message);
+
+  std::span<const MailMessage> messages() const noexcept { return messages_; }
+  std::size_t size() const noexcept { return messages_.size(); }
+
+  const MailMessage* find(std::uint64_t id) const noexcept;
+
+  /// All messages in a thread, in arrival order.
+  std::vector<const MailMessage*> thread(std::uint64_t thread_id) const;
+
+  std::vector<MailMessage> select(
+      const std::function<bool(const MailMessage&)>& pred) const;
+
+  std::size_t distinct_faults() const;
+
+ private:
+  std::vector<MailMessage> messages_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace faultstudy::corpus

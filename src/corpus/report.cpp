@@ -1,0 +1,34 @@
+#include "corpus/report.hpp"
+
+#include <cstdio>
+
+namespace faultstudy::corpus {
+
+int Date::month_index() const noexcept {
+  return static_cast<int>(days / 30.44);
+}
+
+std::string Date::month_label() const {
+  const int m = month_index();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d", 1998 + m / 12, m % 12 + 1);
+  return buf;
+}
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kWishlist:
+      return "wishlist";
+    case Severity::kMinor:
+      return "minor";
+    case Severity::kNormal:
+      return "normal";
+    case Severity::kSevere:
+      return "severe";
+    case Severity::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,104 @@
+// Data model for bug-tracker reports and mailing-list messages.
+//
+// Mirrors the three sources the paper mined: bugs.apache.org (a tracker with
+// severity and version fields), bugs.gnome.org + cvs.gnome.org (tracker plus
+// fix records), and the geocrawler MySQL mailing-list archive (free-form
+// messages, mined by keyword).
+//
+// Reports carry optional ground-truth fields (`fault_id`, `truth_*`) that
+// the synthetic generators fill in. The mining pipeline never reads them;
+// they exist so tests and benches can verify that what the pipeline found
+// matches what was planted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rule_classifier.hpp"  // core::ReportText
+#include "core/taxonomy.hpp"
+
+namespace faultstudy::corpus {
+
+/// Days since 1998-01-01; the study window spans roughly 1998-1999.
+struct Date {
+  int days = 0;
+
+  constexpr auto operator<=>(const Date&) const = default;
+
+  /// "YYYY-MM" bucket label (months are 30.44-day approximations, which is
+  /// adequate for bucketing a two-year window).
+  std::string month_label() const;
+  /// Month index since 1998-01 (0-based).
+  int month_index() const noexcept;
+};
+
+enum class Severity : std::uint8_t {
+  kWishlist = 0,
+  kMinor = 1,
+  kNormal = 2,
+  kSevere = 3,
+  kCritical = 4,
+};
+
+std::string_view to_string(Severity s) noexcept;
+
+/// Whether the reported version is a production release. The study only
+/// counts "bugs on production versions of the software".
+enum class VersionTrack : std::uint8_t {
+  kProduction = 0,
+  kBeta = 1,
+  kDevelopment = 2,
+};
+
+/// What kind of report this is; the study keeps only functional failures of
+/// running software (not build/install problems or feature requests).
+enum class ReportKind : std::uint8_t {
+  kRuntimeFailure = 0,
+  kBuildProblem = 1,
+  kInstallProblem = 2,
+  kFeatureRequest = 3,
+  kDocumentation = 4,
+  kUsageQuestion = 5,
+};
+
+struct BugReport {
+  std::uint64_t id = 0;
+  core::AppId app = core::AppId::kApache;
+  std::string component;    ///< e.g. "core", "panel", "gnumeric"
+  std::string version;      ///< e.g. "1.3.1"
+  int release_ordinal = 0;  ///< index into the app's release sequence
+  VersionTrack track = VersionTrack::kProduction;
+  Severity severity = Severity::kNormal;
+  ReportKind kind = ReportKind::kRuntimeFailure;
+  Date date;
+  core::ReportText text;
+  bool fixed = false;
+  std::string fix_note;  ///< CVS-style note describing the fix
+
+  // --- ground truth (filled by generators, never read by the pipeline) ---
+  /// Stable fault identity shared by all reports of the same underlying bug.
+  /// Empty for reports that are not about a study-relevant fault.
+  std::string fault_id;
+  std::optional<core::Trigger> truth_trigger;
+  std::optional<core::FaultClass> truth_class;
+};
+
+/// A mailing-list message (the MySQL source).
+struct MailMessage {
+  std::uint64_t id = 0;
+  Date date;
+  std::string subject;
+  std::string sender;
+  std::string body;
+  /// Thread identity: replies share the root message's thread_id.
+  std::uint64_t thread_id = 0;
+
+  // --- ground truth ---
+  std::string fault_id;  ///< empty for chatter
+  std::optional<core::Trigger> truth_trigger;
+  std::optional<core::FaultClass> truth_class;
+};
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,64 @@
+// Curated seed faults: the study's ground-truth dataset.
+//
+// Every environment-dependent fault in Sections 5.1-5.3 of the paper is
+// transcribed here verbatim (26 faults), together with the representative
+// environment-independent bugs the paper describes. The remaining
+// environment-independent seeds — the paper reports their *counts* (36/39/38)
+// but does not describe each — are reconstructed as realistic bugs of the
+// same applications using the paper's EI mechanism vocabulary (boundary
+// conditions, missing initialization, wrong variable usage, API misuse,
+// deterministic leaks, signal-handling and logic errors). DESIGN.md records
+// this substitution.
+//
+// Invariants (enforced by tests):
+//   apache_seeds(): 50 faults = 36 EI + 7 EDN + 7 EDT   (Table 1)
+//   gnome_seeds():  45 faults = 39 EI + 3 EDN + 3 EDT   (Table 2)
+//   mysql_seeds():  44 faults = 38 EI + 4 EDN + 2 EDT   (Table 3)
+// and per-bucket totals follow the shape properties of Figures 1-3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+
+namespace faultstudy::corpus {
+
+/// One unique fault, as the study would record it after reading all of its
+/// reports. `bucket` is the release ordinal (Apache, MySQL) or time bucket
+/// (GNOME) used by the figures.
+struct SeedFault {
+  std::string fault_id;
+  core::AppId app = core::AppId::kApache;
+  std::string component;
+  std::string title;
+  core::Symptom symptom = core::Symptom::kCrash;
+  core::Trigger trigger = core::Trigger::kBoundaryInput;
+  int bucket = 0;
+  /// The "How To Repeat" field of the primary report.
+  std::string how_to_repeat;
+  /// The developers' diagnosis, as recorded in the report or CVS log.
+  std::string developer_comment;
+};
+
+/// Fault class implied by the seed's trigger under the paper's rules.
+core::FaultClass seed_class(const SeedFault& seed);
+
+std::vector<SeedFault> apache_seeds();
+std::vector<SeedFault> gnome_seeds();
+std::vector<SeedFault> mysql_seeds();
+
+/// All 139 seeds in app order (Apache, GNOME, MySQL).
+std::vector<SeedFault> all_seeds();
+
+/// Release version string per bucket ordinal.
+const std::vector<std::string>& apache_releases();
+const std::vector<std::string>& mysql_releases();
+/// GNOME figures bucket by time; labels are month strings.
+const std::vector<std::string>& gnome_periods();
+
+/// Converts a seed to the core Fault record used by aggregation.
+core::Fault to_fault(const SeedFault& seed);
+std::vector<core::Fault> to_faults(const std::vector<SeedFault>& seeds);
+
+}  // namespace faultstudy::corpus

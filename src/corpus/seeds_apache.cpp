@@ -1,0 +1,419 @@
+// Apache seed faults (Table 1: 36 EI + 7 EDN + 7 EDT = 50).
+//
+// Buckets 0..6 correspond to releases 1.2.4 .. 1.3.4; per-bucket totals
+// (2,4,6,7,9,10,12) grow with newer releases while the EI share stays
+// roughly constant, matching the two properties Figure 1 exhibits.
+#include "corpus/seeds.hpp"
+
+#include "core/rules.hpp"
+
+namespace faultstudy::corpus {
+
+namespace {
+using core::AppId;
+using core::Symptom;
+using core::Trigger;
+
+SeedFault mk(std::string id, std::string component, std::string title,
+             Symptom symptom, Trigger trigger, int bucket, std::string htr,
+             std::string comment) {
+  SeedFault s;
+  s.fault_id = std::move(id);
+  s.app = AppId::kApache;
+  s.component = std::move(component);
+  s.title = std::move(title);
+  s.symptom = symptom;
+  s.trigger = trigger;
+  s.bucket = bucket;
+  s.how_to_repeat = std::move(htr);
+  s.developer_comment = std::move(comment);
+  return s;
+}
+}  // namespace
+
+const std::vector<std::string>& apache_releases() {
+  static const std::vector<std::string> kReleases = {
+      "1.2.4", "1.2.6", "1.3.0", "1.3.1", "1.3.2", "1.3.3", "1.3.4"};
+  return kReleases;
+}
+
+std::vector<SeedFault> apache_seeds() {
+  std::vector<SeedFault> s;
+  s.reserve(50);
+
+  // ---- environment-dependent-nontransient (7, from Section 5.1) ----
+  s.push_back(mk(
+      "apache-edn-01", "core",
+      "server slowly degrades and dies under sustained high load",
+      Symptom::kCrash, Trigger::kResourceLeakUnderLoad, 0,
+      "Run the server under high load for several days; it eventually "
+      "degrades and dies. We could not identify which resource is consumed.",
+      "High load leading to an unknown resource leak in the application; the "
+      "leak will persist during recovery since all application state is "
+      "saved and restored."));
+  s.push_back(mk(
+      "apache-edn-02", "core",
+      "httpd fails to serve requests: lack of file descriptors",
+      Symptom::kErrorReturn, Trigger::kFdExhaustion, 2,
+      "With many virtual hosts and log files configured, the server runs out "
+      "of file descriptors and new connections fail.",
+      "Lack of file descriptors. A truly generic recovery mechanism will "
+      "recover all application resources such as file descriptors, so this "
+      "condition will persist during recovery."));
+  s.push_back(mk(
+      "apache-edn-03", "mod_proxy",
+      "proxy stops caching when its disk cache fills up",
+      Symptom::kErrorReturn, Trigger::kDiskCacheFull, 3,
+      "Let the proxy run until the disk cache used by the application gets "
+      "full; it cannot store any more temporary files and requests fail.",
+      "Disk cache used by the application gets full. Garbage collection of "
+      "the cache directory is not performed."));
+  s.push_back(mk(
+      "apache-edn-04", "mod_log",
+      "server dies once access_log grows past the 2GB limit",
+      Symptom::kCrash, Trigger::kFileSizeLimit, 4,
+      "Leave log rotation off on a busy site; when the size of the log file "
+      "is greater than maximum allowed file size the server exits.",
+      "Size of log file exceeds the file size limit of the platform; write() "
+      "fails and the error path aborts the child."));
+  s.push_back(mk(
+      "apache-edn-05", "core",
+      "full file system makes httpd unable to serve any request",
+      Symptom::kErrorReturn, Trigger::kFullFileSystem, 5,
+      "Fill the file system holding the document root and logs; all "
+      "operations fail with no space left on device.",
+      "Full file system. Nothing in the server or a generic recovery system "
+      "frees disk space, so the condition persists on retry."));
+  s.push_back(mk(
+      "apache-edn-06", "core",
+      "connections fail after long uptime: network resource exhausted",
+      Symptom::kErrorReturn, Trigger::kNetworkResourceExhausted, 6,
+      "After weeks of uptime new connections are refused. Some unknown "
+      "network resource is exhausted; restarting the whole machine helps.",
+      "Unknown network resource exhausted. Could not determine which kernel "
+      "structure is consumed."));
+  s.push_back(mk(
+      "apache-edn-07", "core",
+      "httpd crashes when the PCMCIA network card is removed",
+      Symptom::kCrash, Trigger::kHardwareRemoval, 6,
+      "Start httpd on a laptop, then eject the PCMCIA network card while the "
+      "server is running. httpd dies immediately.",
+      "Removal of PCMCIA network card from the computer invalidates the "
+      "socket; recovery cannot reinsert the card."));
+
+  // ---- environment-dependent-transient (7, from Section 5.1) ----
+  s.push_back(mk(
+      "apache-edt-01", "core",
+      "request fails when call to Domain Name Service returns an error",
+      Symptom::kErrorReturn, Trigger::kDnsError, 1,
+      "With HostnameLookups on, a request fails when the call to Domain Name "
+      "Service returns an error.",
+      "DNS returned an error. This is likely to change when the DNS server "
+      "is restarted, so a retry would succeed."));
+  s.push_back(mk(
+      "apache-edt-02", "core",
+      "child processes hang during peak load and fill the process table",
+      Symptom::kHang, Trigger::kProcessTableFull, 2,
+      "During peak load child processes hang and consume all available slots "
+      "in the process table; no new process can be created.",
+      "As part of automatic recovery, the recovery system is likely to kill "
+      "all processes associated with the application, freeing the slots."));
+  s.push_back(mk(
+      "apache-edt-03", "core",
+      "segfault when user presses stop on the browser mid-download",
+      Symptom::kCrash, Trigger::kWorkloadTiming, 3,
+      "Request a large page and press stop on the browser in the midst of a "
+      "page download; occasionally the serving child segfaults.",
+      "Depends on the exact timing of the requested workload, which is not "
+      "likely to be repeated during recovery."));
+  s.push_back(mk(
+      "apache-edt-04", "core",
+      "restart fails: hung children hang onto required network ports",
+      Symptom::kErrorReturn, Trigger::kPortsHeldByChildren, 4,
+      "After some children hang, restarting the server fails with address "
+      "already in use; the hung children hold the listening ports.",
+      "Hung child processes will likely be killed during recovery and the "
+      "ports will be freed."));
+  s.push_back(mk(
+      "apache-edt-05", "core",
+      "requests time out when DNS responds slowly",
+      Symptom::kErrorReturn, Trigger::kDnsSlow, 5,
+      "With a misbehaving name server, slow Domain Name Service response "
+      "makes requests time out.",
+      "The cause of the slow DNS response will likely be fixed eventually "
+      "without application-specific recovery, either by restarting DNS or by "
+      "fixing the network."));
+  s.push_back(mk(
+      "apache-edt-06", "mod_proxy",
+      "proxy request aborts over a slow network connection",
+      Symptom::kErrorReturn, Trigger::kNetworkSlow, 5,
+      "Fetch through the proxy over a very slow network connection; the "
+      "transfer aborts with a timeout error.",
+      "The network may be fixed by the time Apache recovers; a retry is "
+      "likely to succeed."));
+  s.push_back(mk(
+      "apache-edt-07", "mod_ssl",
+      "SSL handshake blocks: lack of events to generate random numbers",
+      Symptom::kHang, Trigger::kEntropyShortage, 6,
+      "On an idle machine the SSL handshake blocks due to lack of events to "
+      "generate sufficient random numbers in /dev/random.",
+      "During recovery it is likely that more events will be generated for "
+      "/dev/random, so the retry succeeds."));
+
+  // ---- environment-independent (36) ----
+  // The five bugs the paper describes:
+  s.push_back(mk(
+      "apache-ei-01", "core",
+      "dies with a segfault when the submitted URL is very long",
+      Symptom::kCrash, Trigger::kBoundaryInput, 2,
+      "Submit a very long URL from the browser; the server dies with a "
+      "segfault every time.",
+      "This problem was a result of an overflow in the hash calculation."));
+  s.push_back(mk(
+      "apache-ei-02", "core",
+      "SIGHUP kills apache on Solaris and Unixware",
+      Symptom::kCrash, Trigger::kSignalHandlingBug, 3,
+      "Send SIGHUP to the parent process on Solaris or Unixware. SIGHUP "
+      "kills apache instead of gracefully restarting it.",
+      "Normally this should gracefully restart/rejuvenate Apache; the "
+      "handler is wrong on these platforms."));
+  s.push_back(mk(
+      "apache-ei-03", "core",
+      "dumps core on Linux/PPC if handed a nonexistent URL",
+      Symptom::kCrash, Trigger::kApiMisuse, 4,
+      "Request a nonexistent URL on Linux/PPC; the server dumps core "
+      "reliably.",
+      "ap_log_rerror() uses a va_list variable twice without an intervening "
+      "va_end/va_start combination."));
+  s.push_back(mk(
+      "apache-ei-04", "mod_autoindex",
+      "crash when directory listing is on and the directory has zero entries",
+      Symptom::kCrash, Trigger::kBoundaryInput, 5,
+      "Turn directory listing on and request a directory that has zero "
+      "entries; the server crashes.",
+      "The palloc() call used in index_directory() doesn't handle size zero "
+      "properly."));
+  s.push_back(mk(
+      "apache-ei-05", "core",
+      "shared memory segment keeps growing; HUP freezes or kills the server",
+      Symptom::kResourceBloat, Trigger::kDeterministicLeak, 6,
+      "The shared memory segment keeps growing and reaches sizes exceeding "
+      "100 Mbytes in less than 5 hours of operation. When a HUP signal is "
+      "sent to rotate logs, Apache freezes or dies.",
+      "Caused by memory leaks in the application's scoreboard handling."));
+
+  // Reconstructed EI bugs (31), same mechanisms, distributed over releases
+  // to keep the per-bucket EI counts at (1,3,4,5,7,7,9) = 36 with the five
+  // described bugs occupying buckets 2,3,4,5,6.
+  struct Ei {
+    const char* component;
+    const char* title;
+    Symptom symptom;
+    Trigger trigger;
+    int bucket;
+    const char* htr;
+    const char* comment;
+  };
+  static const Ei kEi[] = {
+      // bucket 0 (1 EI)
+      {"mod_cgi", "segfault when a CGI script returns an empty header block",
+       Symptom::kCrash, Trigger::kBoundaryInput, 0,
+       "Install a CGI that prints only a blank line; every request to it "
+       "crashes the serving child.",
+       "Header parser indexes the first header line without checking for "
+       "zero headers; classic boundary condition."},
+      // bucket 1 (3 EI)
+      {"mod_include", "SSI include directive with no file attribute dumps core",
+       Symptom::kCrash, Trigger::kBoundaryInput, 1,
+       "Create a .shtml page containing <!--#include --> with no attribute; "
+       "requesting it dumps core every time.",
+       "Missing check for an empty attribute list before dereferencing the "
+       "first entry."},
+      {"mod_rewrite", "RewriteMap lookup crashes on rules with empty pattern",
+       Symptom::kCrash, Trigger::kMissingInitialization, 1,
+       "Define a RewriteRule with an empty pattern; the first matching "
+       "request crashes httpd.",
+       "The compiled pattern structure is used uninitialized when the "
+       "pattern text is empty; missing initialization."},
+      {"core", "Host: header with trailing dot returns wrong virtual host",
+       Symptom::kErrorReturn, Trigger::kLogicError, 1,
+       "Send a request with Host: www.example.com. (trailing dot); the "
+       "server picks the wrong virtual host deterministically.",
+       "Hostname comparison fails to canonicalize the trailing dot; logic "
+       "error in vhost matching."},
+      // bucket 2 (3 more EI besides apache-ei-01)
+      {"mod_auth", "htpasswd file with a line longer than 256 chars crashes auth",
+       Symptom::kCrash, Trigger::kBoundaryInput, 2,
+       "Put a very long line into the htpasswd file; the next authenticated "
+       "request crashes.",
+       "Fixed-size stack buffer; a buffer overflow occurs when the line "
+       "exceeds 256 characters."},
+      {"mod_cgi", "POST with Content-Length 0 hangs the CGI child",
+       Symptom::kHang, Trigger::kBoundaryInput, 2,
+       "Send a POST request with Content-Length: 0 to any CGI; the child "
+       "waits forever for a body that never comes.",
+       "Loop condition never checked the zero-length boundary condition."},
+      {"core", "ScriptAlias to a directory without trailing slash loops forever",
+       Symptom::kHang, Trigger::kLogicError, 2,
+       "Configure ScriptAlias /cgi /usr/lib/cgi (no trailing slash) and "
+       "request /cgi; the server spins at 100% CPU.",
+       "Path-merge loop re-appends the same segment; state-machine logic "
+       "error."},
+      // bucket 3 (4 more EI besides apache-ei-02)
+      {"mod_mime", "file with hundreds of dots in its name crashes content-type scan",
+       Symptom::kCrash, Trigger::kBoundaryInput, 3,
+       "Create a file named a.b.c....z with several hundred dots and request "
+       "it; the extension scanner crashes.",
+       "Recursion depth equals the number of dots; stack overflow at an "
+       "untested boundary condition."},
+      {"core", "ErrorDocument pointing at itself recurses until crash",
+       Symptom::kCrash, Trigger::kLogicError, 3,
+       "Set ErrorDocument 404 /missing where /missing does not exist; any "
+       "404 recurses until the child crashes.",
+       "No recursion guard in the internal-redirect path; logic error."},
+      {"mod_status", "status page shows negative request counts after 2^31 requests",
+       Symptom::kErrorReturn, Trigger::kWrongVariableUsage, 3,
+       "After two billion requests the counters on the status page go "
+       "negative.",
+       "Counter declared as \"long\" instead of \"unsigned long\"; wrong "
+       "type for the variable."},
+      {"mod_proxy", "proxy garbles responses when upstream sends folded headers",
+       Symptom::kErrorReturn, Trigger::kLogicError, 3,
+       "Proxy to an origin that sends RFC822 folded headers; the proxied "
+       "response is corrupted every time.",
+       "Header continuation lines are spliced at the wrong offset; "
+       "deterministic logic error in the parser."},
+      // bucket 4 (6 more EI besides apache-ei-03)
+      {"core", "Range: bytes=0- on a zero-byte file returns corrupt response",
+       Symptom::kErrorReturn, Trigger::kBoundaryInput, 4,
+       "Request a zero-byte file with header Range: bytes=0-; the response "
+       "is malformed every time.",
+       "byterange code divides by the file size; empty file is the untested "
+       "boundary condition."},
+      {"mod_usertrack", "cookie parser crashes on cookie without '=' sign",
+       Symptom::kCrash, Trigger::kBoundaryInput, 4,
+       "Send header Cookie: abc (no equals sign); the child segfaults.",
+       "strchr result used without a NULL check; missing check for the "
+       "malformed boundary case."},
+      {"mod_alias", "redirect target longer than 8k truncated and corrupted",
+       Symptom::kErrorReturn, Trigger::kBoundaryInput, 4,
+       "Configure a Redirect whose target URL is longer than 8192 bytes; "
+       "clients receive a truncated, corrupt Location header.",
+       "Fixed-size buffer without length check; overflow at the 8k "
+       "boundary."},
+      {"core", "SIGUSR1 graceful restart loses the error log descriptor",
+       Symptom::kErrorReturn, Trigger::kSignalHandlingBug, 4,
+       "Send SIGUSR1 for a graceful restart; afterwards nothing is written "
+       "to the error log.",
+       "The restart handler closes the log descriptor before the reopen "
+       "path runs; deterministic signal-handling bug."},
+      {"mod_expires", "ExpiresByType with empty type string crashes at config read",
+       Symptom::kCrash, Trigger::kMissingInitialization, 4,
+       "Add ExpiresByType \"\" A3600 to the config; the server crashes while "
+       "reading the configuration.",
+       "The type table entry is used before being initialized when the type "
+       "string is empty."},
+      {"mod_negotiation", "type-map file ending without newline reads past buffer",
+       Symptom::kCrash, Trigger::kBoundaryInput, 4,
+       "Create a .var type-map whose last line has no trailing newline; "
+       "requesting it crashes the child.",
+       "Line scanner assumes a newline terminator; reads past the buffer at "
+       "the boundary."},
+      // bucket 5 (5 more EI besides apache-ei-04)
+      {"core", "keepalive request after a HEAD of a CGI returns garbage",
+       Symptom::kErrorReturn, Trigger::kLogicError, 5,
+       "On one keepalive connection send HEAD to a CGI then GET a static "
+       "file; the second response is garbage, every time.",
+       "The CGI HEAD path forgets to drain the script output; protocol "
+       "state-machine logic error."},
+      {"mod_imap", "imagemap file with coordinates but no URL dumps core",
+       Symptom::kCrash, Trigger::kBoundaryInput, 5,
+       "Create a .map file line with coordinates but no target URL and "
+       "click in that region; httpd dumps core.",
+       "Token parser dereferences the missing URL token; untested boundary "
+       "condition."},
+      {"mod_setenvif", "SetEnvIf with backreference to unmatched group crashes",
+       Symptom::kCrash, Trigger::kMissingInitialization, 5,
+       "Use SetEnvIf Referer ^(a)|b ref=$1 and send a request matching the "
+       "b branch; the child crashes.",
+       "Backreference array entry for the unmatched group is used "
+       "uninitialized."},
+      {"core", "LimitRequestBody rejects exactly-at-limit bodies with wrong code",
+       Symptom::kErrorReturn, Trigger::kBoundaryInput, 5,
+       "Set LimitRequestBody 1000 and POST exactly 1000 bytes; the request "
+       "is rejected although it equals the limit.",
+       "Off-by-one in the comparison; boundary condition at the exact "
+       "limit."},
+      {"mod_userdir", "requests for ~user with empty home directory loop",
+       Symptom::kHang, Trigger::kLogicError, 5,
+       "Create a user whose home directory field is empty and request "
+       "/~user/; the child loops forever.",
+       "Path composition with the empty home string re-enters the same "
+       "translate hook; logic error."},
+      {"mod_headers", "Header unset of a header set twice removes only one copy",
+       Symptom::kErrorReturn, Trigger::kWrongVariableUsage, 5,
+       "Set the same response header twice and Header unset it; one copy "
+       "always remains in the response.",
+       "The unset loop saves the iteration index into a local copy of the "
+       "variable and skips the second entry."},
+      // bucket 6 (8 more EI besides apache-ei-05)
+      {"core", "If-Modified-Since with malformed date crashes the child",
+       Symptom::kCrash, Trigger::kBoundaryInput, 6,
+       "Send If-Modified-Since: garbage-date; the serving child segfaults "
+       "on every such request.",
+       "Date parser returns NULL for unparseable dates and the caller "
+       "misses the check."},
+      {"mod_speling", "directory with 10000 entries overflows the candidate list",
+       Symptom::kCrash, Trigger::kBoundaryInput, 6,
+       "Enable mod_speling on a directory with ten thousand files and "
+       "request a misspelled name; the child crashes.",
+       "Candidate array is a fixed-size buffer; overflow at the boundary."},
+      {"mod_log", "custom log format %{}t with empty format string crashes",
+       Symptom::kCrash, Trigger::kBoundaryInput, 6,
+       "Use LogFormat \"%{}t\" and issue any request; the logging child "
+       "crashes.",
+       "Empty strftime format is the untested boundary; missing check "
+       "before the first character is read."},
+      {"core", "proxy of HTTP/0.9 response duplicates the first 4 bytes",
+       Symptom::kErrorReturn, Trigger::kLogicError, 6,
+       "Proxy an HTTP/0.9 origin; every proxied body starts with four "
+       "duplicated bytes.",
+       "Sniff buffer is replayed twice into the output; deterministic "
+       "logic error."},
+      {"mod_env", "PassEnv of an unset variable poisons the environment table",
+       Symptom::kErrorReturn, Trigger::kMissingInitialization, 6,
+       "Use PassEnv NOT_SET and run any CGI; unrelated variables disappear "
+       "from its environment.",
+       "Table entry for the unset variable is inserted uninitialized and "
+       "corrupts the walk."},
+      {"mod_dir", "DirectoryIndex with absolute path escapes the docroot check",
+       Symptom::kSecurity, Trigger::kLogicError, 6,
+       "Set DirectoryIndex /etc/passwd; requests for directories serve the "
+       "absolute path, a security problem.",
+       "Index candidates are not re-checked against the document root; "
+       "logic error with security impact."},
+      {"core", "Connection: close combined with chunked reply sends bad chunk",
+       Symptom::kErrorReturn, Trigger::kLogicError, 6,
+       "Force Connection: close on a chunked reply; the final chunk is "
+       "malformed every time.",
+       "The close path skips the chunk-trailer state; protocol logic "
+       "error."},
+      {"mod_access", "deny rule with host name ending in dot never matches",
+       Symptom::kSecurity, Trigger::kWrongVariableUsage, 6,
+       "Use deny from example.com. (trailing dot); the rule silently never "
+       "matches and access is allowed: a security problem.",
+       "Comparison uses the unnormalized copy of the variable instead of "
+       "the canonical one."},
+  };
+  int ei_counter = 6;  // apache-ei-01..05 are the paper-described bugs
+  for (const auto& e : kEi) {
+    const std::string id = "apache-ei-" + std::string(ei_counter < 10 ? "0" : "") +
+                           std::to_string(ei_counter);
+    ++ei_counter;
+    s.push_back(mk(id, e.component, e.title, e.symptom, e.trigger, e.bucket,
+                   e.htr, e.comment));
+  }
+  return s;
+}
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,373 @@
+// GNOME seed faults (Table 2: 39 EI + 3 EDN + 3 EDT = 45).
+//
+// GNOME's figure buckets by time rather than release (the modules release
+// independently); buckets 0..7 are two-month periods. Per-bucket totals
+// (4,6,7,5,3,5,7,8) show the mid-period dip Figure 2 exhibits, with the EI
+// proportion high throughout.
+#include "corpus/seeds.hpp"
+
+namespace faultstudy::corpus {
+
+namespace {
+using core::AppId;
+using core::Symptom;
+using core::Trigger;
+
+SeedFault mk(std::string id, std::string component, std::string title,
+             Symptom symptom, Trigger trigger, int bucket, std::string htr,
+             std::string comment) {
+  SeedFault s;
+  s.fault_id = std::move(id);
+  s.app = AppId::kGnome;
+  s.component = std::move(component);
+  s.title = std::move(title);
+  s.symptom = symptom;
+  s.trigger = trigger;
+  s.bucket = bucket;
+  s.how_to_repeat = std::move(htr);
+  s.developer_comment = std::move(comment);
+  return s;
+}
+}  // namespace
+
+const std::vector<std::string>& gnome_periods() {
+  static const std::vector<std::string> kPeriods = {
+      "1998-09", "1998-11", "1999-01", "1999-03",
+      "1999-05", "1999-07", "1999-09", "1999-11"};
+  return kPeriods;
+}
+
+std::vector<SeedFault> gnome_seeds() {
+  std::vector<SeedFault> s;
+  s.reserve(45);
+
+  // ---- environment-dependent-nontransient (3, from Section 5.2) ----
+  s.push_back(mk(
+      "gnome-edn-01", "gnome-libs",
+      "applications fail after the hostname of the machine is changed",
+      Symptom::kErrorReturn, Trigger::kHostnameChanged, 1,
+      "Start any GNOME application, then change the hostname of the machine "
+      "while the application is running; subsequent operations fail.",
+      "The session manager address embeds the old hostname; the hostname "
+      "stays changed after recovery, so the condition persists."));
+  s.push_back(mk(
+      "gnome-edn-02", "esd",
+      "panel runs out of file descriptors: open sockets left around by "
+      "sound utilities",
+      Symptom::kCrash, Trigger::kExternalSocketLeak, 3,
+      "Use sound-enabled applets for a while; open sockets left around by "
+      "sound utilities while exiting each consume a file descriptor and the "
+      "application runs out of file descriptors.",
+      "The leaked sockets belong to the sound daemon's clients; they remain "
+      "open across recovery of the panel itself."));
+  s.push_back(mk(
+      "gnome-edn-03", "gmc",
+      "crash when editing a file that has an illegal value in the owner field",
+      Symptom::kCrash, Trigger::kCorruptFileMetadata, 6,
+      "Create a file whose owner field holds an illegal value (e.g. an id "
+      "with no passwd entry written by another OS); the application crashes "
+      "when trying to edit the file or its properties.",
+      "The illegal metadata value is still on disk after recovery, so the "
+      "crash recurs until the file is fixed by hand."));
+
+  // ---- environment-dependent-transient (3, from Section 5.2) ----
+  s.push_back(mk(
+      "gnome-edt-01", "panel",
+      "unknown failure of application which works on a retry",
+      Symptom::kCrash, Trigger::kUnknownTransient, 2,
+      "The panel died once during normal use; we could not repeat it. "
+      "Restarting the panel worked and it has not happened since.",
+      "Could not reproduce on the development machines; works on a retry."));
+  s.push_back(mk(
+      "gnome-edt-02", "gmc",
+      "race condition between an image viewer and a property editor",
+      Symptom::kCrash, Trigger::kRaceCondition, 5,
+      "Open the property editor on an image while the image viewer is "
+      "redrawing the same file; occasionally one of them crashes.",
+      "Race condition between the image viewer and the property editor. "
+      "Race conditions depend on the exact timing of thread scheduling "
+      "events, and these are likely to change during retry."));
+  s.push_back(mk(
+      "gnome-edt-03", "panel",
+      "race condition between a request for action from an applet and its "
+      "removal",
+      Symptom::kCrash, Trigger::kRaceCondition, 7,
+      "Remove an applet at the exact moment it requests an action from the "
+      "panel; the panel sometimes crashes.",
+      "Race condition between the applet's CORBA request and the removal "
+      "path; the interleaving is unlikely to recur on retry."));
+
+  // ---- environment-independent: the five described bugs ----
+  s.push_back(mk(
+      "gnome-ei-01", "panel",
+      "clicking on the \"tasklist\" tab in gnome-pager settings kills the pager",
+      Symptom::kCrash, Trigger::kUiEventSequence, 1,
+      "Open the gnome-pager settings dialog and click on the \"tasklist\" "
+      "tab; the pager dies every time.",
+      "The tab switch handler dereferences a widget that is only created "
+      "when the pager is embedded; deterministic UI event sequence."));
+  s.push_back(mk(
+      "gnome-ei-02", "gnome-pim",
+      "clicking \"prev\" in the \"year\" view of the calendar crashes it",
+      Symptom::kCrash, Trigger::kWrongVariableUsage, 2,
+      "Open the gnome calendar application, switch to the \"year\" view and "
+      "click on the \"prev\" button; it crashes every time.",
+      "This was due to assigning a value to a local copy of the variable "
+      "instead of the global copy."));
+  s.push_back(mk(
+      "gnome-ei-03", "gnumeric",
+      "gnumeric crashes if a tab is pressed in the \"define name\" dialog",
+      Symptom::kCrash, Trigger::kMissingInitialization, 3,
+      "Open the \"define name\" dialog or the \"File/Summary\" dialog and "
+      "press tab; the spreadsheet crashes.",
+      "This was caused by initializing a variable to an incorrect value."));
+  s.push_back(mk(
+      "gnome-ei-04", "gmc",
+      "double-clicking on a \"tar.gz\" desktop icon crashes gmc",
+      Symptom::kCrash, Trigger::kWrongVariableUsage, 5,
+      "Place a tar.gz file as an icon on the desktop and double-click it; "
+      "gmc, the gnome file manager, crashes every time.",
+      "This was caused due to the declaration of a variable as \"long\" "
+      "instead of \"unsigned long\"."));
+  s.push_back(mk(
+      "gnome-ei-05", "panel",
+      "clicking the desktop to dismiss the main menu freezes the desktop",
+      Symptom::kHang, Trigger::kUiEventSequence, 6,
+      "After clicking the main button once to pop up the main menu, a click "
+      "again on the desktop in order to remove the menu freezes the desktop.",
+      "The menu grab is never released on the dismiss path; deterministic "
+      "UI event sequence."));
+
+  // ---- reconstructed EI bugs (34) ----
+  struct Ei {
+    const char* component;
+    const char* title;
+    Symptom symptom;
+    Trigger trigger;
+    int bucket;
+    const char* htr;
+    const char* comment;
+  };
+  static const Ei kEi[] = {
+      // bucket 0 (4)
+      {"panel", "panel crashes when drawer applet is added to another drawer",
+       Symptom::kCrash, Trigger::kLogicError, 0,
+       "Add a drawer applet inside an existing drawer; the panel crashes "
+       "immediately, every time.",
+       "The drawer re-parenting path assumes the parent is the toplevel "
+       "panel; deterministic logic error."},
+      {"gnome-pim", "deleting the only appointment of a day crashes gnomecal",
+       Symptom::kCrash, Trigger::kBoundaryInput, 0,
+       "Create exactly one appointment on a day, then delete it; gnomecal "
+       "crashes every time.",
+       "The day list becomes empty and the redraw path indexes entry zero; "
+       "missing check for the empty boundary condition."},
+      {"gnumeric", "pasting into a fully-selected column makes gnumeric abort",
+       Symptom::kCrash, Trigger::kBoundaryInput, 0,
+       "Select a whole column with the header and paste any cell; gnumeric "
+       "aborts with an assertion.",
+       "The paste range height of 65536 overflows the region allocator; "
+       "boundary condition on the maximum range."},
+      {"gmc", "renaming a file to the empty string crashes gmc",
+       Symptom::kCrash, Trigger::kBoundaryInput, 0,
+       "Select any file, choose rename, clear the name and press enter; gmc "
+       "crashes.",
+       "The empty name is the untested boundary; missing check before "
+       "building the target path."},
+      // bucket 1 (4)
+      {"panel", "swallowed application with no title crashes the panel",
+       Symptom::kCrash, Trigger::kBoundaryInput, 1,
+       "Swallow an application whose window has no title; the panel crashes "
+       "when building the swallow list.",
+       "NULL title pointer used in strcmp; missing check for the boundary "
+       "case."},
+      {"gnome-libs", "gnome_config_get_string on a key with no '=' dumps core",
+       Symptom::kCrash, Trigger::kBoundaryInput, 1,
+       "Hand-edit a config file so a line has a key but no equals sign, "
+       "then start any GNOME app; it dumps core parsing the file.",
+       "Parser splits on '=' and dereferences the missing value half."},
+      {"gnumeric", "entering =1/0 in a cell then saving corrupts the sheet",
+       Symptom::kErrorReturn, Trigger::kLogicError, 1,
+       "Type =1/0 into a cell, save, and reload the sheet; the file no "
+       "longer loads.",
+       "The div-by-zero error value is serialized with the wrong tag; "
+       "deterministic logic error in the writer."},
+      {"panel", "sorting the tasklist by title twice crashes the applet",
+       Symptom::kCrash, Trigger::kWrongVariableUsage, 1,
+       "Click the title column header of the tasklist twice to toggle the "
+       "sort; the applet crashes on the second click.",
+       "The sort comparator stores the direction into a local copy of the "
+       "variable; the reversed compare reads the stale global."},
+      // bucket 2 (5)
+      {"panel", "logout dialog reappears forever after pressing cancel",
+       Symptom::kHang, Trigger::kLogicError, 2,
+       "Press logout and then cancel in the confirmation dialog; the dialog "
+       "reappears immediately, forever.",
+       "The cancel handler re-enters the logout path; state-machine logic "
+       "error."},
+      {"gnome-pim", "address card with empty name field crashes gnomecard",
+       Symptom::kCrash, Trigger::kBoundaryInput, 2,
+       "Create an address card and delete the name field, then save; "
+       "gnomecard crashes on the next load.",
+       "The empty name is written as a NULL entry the loader misses the "
+       "check for."},
+      {"gnumeric", "autofill of a single cell selection loops forever",
+       Symptom::kHang, Trigger::kBoundaryInput, 2,
+       "Select exactly one cell and drag the autofill handle onto itself; "
+       "gnumeric spins at 100% CPU.",
+       "Fill step of zero is the boundary condition the loop never "
+       "checked."},
+      {"gmc", "FTP view of a directory containing a symlink loop hangs gmc",
+       Symptom::kHang, Trigger::kLogicError, 2,
+       "Browse an FTP directory that contains a symlink pointing at its own "
+       "parent; gmc hangs resolving it, every time.",
+       "The VFS path resolver has no cycle guard; deterministic logic "
+       "error."},
+      {"gnome-libs", "locale with comma decimal separator breaks spin buttons",
+       Symptom::kErrorReturn, Trigger::kWrongVariableUsage, 2,
+       "Run with LC_NUMERIC=de_DE and open any dialog with a spin button; "
+       "typed values are parsed wrong deterministically.",
+       "Parsing uses atof on the unlocalized copy of the string; wrong "
+       "variable is converted."},
+      // bucket 3 (3)
+      {"panel", "applet menu with more than 64 entries crashes the panel",
+       Symptom::kCrash, Trigger::kBoundaryInput, 3,
+       "Add launchers until the applet menu holds more than 64 entries; "
+       "opening it crashes the panel.",
+       "Fixed-size entry array; buffer overflow at the 64-entry boundary."},
+      {"gnumeric", "recalculating a sheet with a cycle of length one aborts",
+       Symptom::kCrash, Trigger::kMissingInitialization, 3,
+       "Enter =A1 into cell A1; recalculation aborts the application.",
+       "The dependency walker's visited flag is used uninitialized for "
+       "self-references."},
+      {"gmc", "dropping a file onto its own icon deletes the file",
+       Symptom::kErrorReturn, Trigger::kLogicError, 3,
+       "Drag a file and drop it onto its own icon; the copy-onto-self path "
+       "truncates the file to zero bytes.",
+       "Source and destination are the same inode; the copy loop truncates "
+       "before reading. Deterministic logic error."},
+      // bucket 4 (3) -- the dip period
+      {"gnome-libs", "session file with CRLF line endings crashes gnome-session",
+       Symptom::kCrash, Trigger::kBoundaryInput, 4,
+       "Save a session file with DOS line endings (e.g. edited on another "
+       "machine) and log in; gnome-session crashes parsing it.",
+       "The carriage return survives into the exec vector; missing check "
+       "for the CRLF boundary case."},
+      {"panel", "removing the last launcher from a drawer crashes the panel",
+       Symptom::kCrash, Trigger::kBoundaryInput, 4,
+       "Create a drawer with one launcher and remove the launcher; the "
+       "panel crashes updating the empty drawer.",
+       "Redraw indexes entry zero of the now-empty list; empty-container "
+       "boundary condition."},
+      {"gnumeric", "printing a sheet wider than the page prints garbage cells",
+       Symptom::kErrorReturn, Trigger::kWrongVariableUsage, 4,
+       "Print a sheet wider than one page; the second page shows garbage "
+       "columns, every time.",
+       "Column offset is computed from the screen variable instead of the "
+       "print layout variable."},
+      // bucket 5 (3)
+      {"panel", "clock applet with empty format string crashes the panel",
+       Symptom::kCrash, Trigger::kBoundaryInput, 5,
+       "Set the clock applet's custom format to the empty string; the next "
+       "tick crashes the panel.",
+       "strftime with an empty format is the boundary the handler missed "
+       "the check for."},
+      {"gnome-pim", "recurring appointment ending on Feb 29 crashes gnomecal",
+       Symptom::kCrash, Trigger::kLogicError, 5,
+       "Create a yearly recurring appointment whose end date is Feb 29; "
+       "opening the next year view crashes.",
+       "Leap-day normalization produces day zero; deterministic date logic "
+       "error."},
+      {"gmc", "directory with 50000 entries makes icon view unusable",
+       Symptom::kHang, Trigger::kBoundaryInput, 5,
+       "Open a directory with fifty thousand files in icon view; gmc "
+       "freezes for minutes and then crashes.",
+       "Layout is O(n^2) and the position array is a fixed-size buffer; "
+       "overflow at the untested boundary."},
+      // bucket 6 (5)
+      {"panel", "dragging a launcher onto the trash applet crashes both",
+       Symptom::kCrash, Trigger::kLogicError, 6,
+       "Drag any launcher icon and drop it on the trash applet; both "
+       "applets crash, every time.",
+       "The drop handler frees the launcher record and then notifies it; "
+       "use-after-free from a deterministic logic error."},
+      {"gnome-libs", "gnome_help_display with relative path shows empty window",
+       Symptom::kErrorReturn, Trigger::kLogicError, 6,
+       "Call help on any applet whose help path is relative; an empty "
+       "browser window appears deterministically.",
+       "URL composition drops the first path segment; deterministic logic "
+       "error."},
+      {"gnumeric", "undo after deleting a whole sheet crashes gnumeric",
+       Symptom::kCrash, Trigger::kMissingInitialization, 6,
+       "Delete a sheet from the workbook and press undo; gnumeric crashes "
+       "restoring it.",
+       "The undo record's sheet pointer field is used before being "
+       "initialized for whole-sheet deletions."},
+      {"gmc", "properties dialog on a dangling symlink crashes gmc",
+       Symptom::kCrash, Trigger::kBoundaryInput, 6,
+       "Create a symlink to a nonexistent target and open its properties "
+       "dialog; gmc crashes.",
+       "stat() failure leaves the info struct empty; missing check before "
+       "formatting the size field."},
+      {"gnome-pim", "importing a vCalendar with no VERSION line crashes",
+       Symptom::kCrash, Trigger::kBoundaryInput, 6,
+       "Import a .vcs file whose VERSION property is absent; the importer "
+       "crashes every time.",
+       "Version string pointer is NULL at the comparison; missing check "
+       "for the absent-property boundary case."},
+      // bucket 7 (7)
+      {"panel", "panel crashes at exactly midnight when the date rolls over",
+       Symptom::kCrash, Trigger::kLogicError, 7,
+       "Leave the panel running across midnight with the clock applet "
+       "showing the date; it crashes at the rollover, reproducibly.",
+       "Day-of-month cache is updated after it is used; deterministic "
+       "ordering logic error at the date boundary."},
+      {"gnumeric", "formula with 255 nested parentheses crashes the parser",
+       Symptom::kCrash, Trigger::kBoundaryInput, 7,
+       "Enter a formula with 255 nested opening parentheses; the expression "
+       "parser crashes.",
+       "Recursive descent with no depth guard; stack overflow at the "
+       "boundary."},
+      {"gmc", "copying a zero-byte file shows a division-by-zero progress bar",
+       Symptom::kCrash, Trigger::kBoundaryInput, 7,
+       "Copy a zero-byte file between directories; the progress dialog "
+       "crashes gmc.",
+       "Percentage computed as copied/size zero; empty-file boundary "
+       "condition."},
+      {"gnome-libs", "double-free when a .desktop file has two Exec lines",
+       Symptom::kCrash, Trigger::kApiMisuse, 7,
+       "Create a launcher whose .desktop file contains two Exec entries; "
+       "launching it crashes with a double free.",
+       "The second parse overwrites and frees the first value, then the "
+       "destructor frees it again; API misuse of the config layer."},
+      {"panel", "keyboard navigation into an empty menu freezes the panel",
+       Symptom::kHang, Trigger::kBoundaryInput, 7,
+       "Open a menu that contains no entries (empty applications folder) "
+       "using the keyboard; the panel freezes.",
+       "Wrap-around search for the next item never terminates when the "
+       "item list is empty."},
+      {"gnome-pim", "todo item with priority 0 crashes the todo list",
+       Symptom::kCrash, Trigger::kBoundaryInput, 7,
+       "Hand-edit a todo entry to priority 0 (UI offers 1-9) and open the "
+       "todo list; it crashes.",
+       "Priority indexes a color array with entry zero unused; boundary "
+       "condition unchecked."},
+      {"gnumeric", "saving to a path with no write permission loses the sheet",
+       Symptom::kErrorReturn, Trigger::kMissingInitialization, 7,
+       "Save a workbook to a read-only directory; the save fails but the "
+       "in-memory workbook is marked clean and closing discards changes.",
+       "The dirty flag is reset before the writer reports failure; the "
+       "failure path leaves it initialized to the wrong value."},
+  };
+  int ei_counter = 6;
+  for (const auto& e : kEi) {
+    const std::string id = "gnome-ei-" + std::string(ei_counter < 10 ? "0" : "") +
+                           std::to_string(ei_counter);
+    ++ei_counter;
+    s.push_back(mk(id, e.component, e.title, e.symptom, e.trigger, e.bucket,
+                   e.htr, e.comment));
+  }
+  return s;
+}
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,399 @@
+// MySQL seed faults (Table 3: 38 EI + 4 EDN + 2 EDT = 44).
+//
+// Buckets 0..5 correspond to releases 3.21.33 .. 3.23.0. Per-bucket totals
+// (3,6,8,10,12,5) grow with newer releases, with the last release
+// substantially lower "because the release is very new" — the two
+// properties Figure 3 exhibits.
+//
+// This file also defines seed_class/to_fault/all_seeds, shared by all three
+// seed sets.
+#include "corpus/seeds.hpp"
+
+#include "core/rules.hpp"
+
+namespace faultstudy::corpus {
+
+namespace {
+using core::AppId;
+using core::Symptom;
+using core::Trigger;
+
+SeedFault mk(std::string id, std::string component, std::string title,
+             Symptom symptom, Trigger trigger, int bucket, std::string htr,
+             std::string comment) {
+  SeedFault s;
+  s.fault_id = std::move(id);
+  s.app = AppId::kMysql;
+  s.component = std::move(component);
+  s.title = std::move(title);
+  s.symptom = symptom;
+  s.trigger = trigger;
+  s.bucket = bucket;
+  s.how_to_repeat = std::move(htr);
+  s.developer_comment = std::move(comment);
+  return s;
+}
+}  // namespace
+
+const std::vector<std::string>& mysql_releases() {
+  static const std::vector<std::string> kReleases = {
+      "3.21.33", "3.22.20", "3.22.25", "3.22.29", "3.22.32", "3.23.0"};
+  return kReleases;
+}
+
+std::vector<SeedFault> mysql_seeds() {
+  std::vector<SeedFault> s;
+  s.reserve(44);
+
+  // ---- environment-dependent-nontransient (4, from Section 5.3) ----
+  s.push_back(mk(
+      "mysql-edn-01", "server",
+      "server fails: shortage of file descriptors due to competition with "
+      "a web server",
+      Symptom::kErrorReturn, Trigger::kFdExhaustion, 1,
+      "Run mysqld on the same machine as a busy web server; under load the "
+      "server reports it is out of file descriptors and refuses new tables.",
+      "Shortage of file descriptors due to competition between MySQL and a "
+      "web server; the competing process still holds them after recovery."));
+  s.push_back(mk(
+      "mysql-edn-02", "server",
+      "server crashes on connection from a host with no reverse DNS",
+      Symptom::kCrash, Trigger::kReverseDnsMissing, 2,
+      "Connect from a remote machine for which reverse DNS is not "
+      "configured; the server crashes when it receives the connection "
+      "request.",
+      "Reverse DNS remains unconfigured on retry, so the crash recurs on "
+      "the next connection from that host."));
+  s.push_back(mk(
+      "mysql-edn-03", "isam",
+      "table dies once the database file exceeds the maximum file size",
+      Symptom::kErrorReturn, Trigger::kFileSizeLimit, 3,
+      "Insert rows until the size of the database file is greater than the "
+      "maximum allowed file size; every further insert fails.",
+      "The oversized data file persists across recovery; the OS file size "
+      "limit is an environmental condition that does not change on retry."));
+  s.push_back(mk(
+      "mysql-edn-04", "server",
+      "full file system prevents all operations on the database",
+      Symptom::kErrorReturn, Trigger::kFullFileSystem, 4,
+      "Fill the file system holding the data directory; all operations on "
+      "the database fail until space is freed by hand.",
+      "Full file system; nothing in generic recovery frees disk space."));
+
+  // ---- environment-dependent-transient (2, from Section 5.3) ----
+  s.push_back(mk(
+      "mysql-edt-01", "server",
+      "race condition between the masking of a signal and its arrival",
+      Symptom::kCrash, Trigger::kRaceCondition, 4,
+      "Under load the server occasionally dies when a signal arrives in the "
+      "window before it is masked; cannot reproduce reliably.",
+      "Race condition between the masking of a signal and its arrival. Race "
+      "conditions depend on the exact timing of thread scheduling events, "
+      "and these are likely to change during retry."));
+  s.push_back(mk(
+      "mysql-edt-02", "server",
+      "race condition between a new user login and commands issued by the "
+      "administrator",
+      Symptom::kCrash, Trigger::kRaceCondition, 5,
+      "Issue administrative commands (FLUSH PRIVILEGES) at the moment a new "
+      "user logs in; the server sometimes crashes.",
+      "Race condition between a new user login and commands issued by the "
+      "administrator; the interleaving is unlikely to recur on retry."));
+
+  // ---- environment-independent: the five described bugs ----
+  s.push_back(mk(
+      "mysql-ei-01", "isam",
+      "UPDATE of an index to a value found later in the scan crashes the "
+      "server",
+      Symptom::kCrash, Trigger::kLogicError, 1,
+      "Run an UPDATE that sets an indexed column to a value that will be "
+      "found later while scanning the index tree, creating duplicate values "
+      "in the index; the server crashes.",
+      "Solved by first scanning for all matching rows and then updating the "
+      "found rows."));
+  s.push_back(mk(
+      "mysql-ei-02", "optimizer",
+      "query selecting zero records with an ORDER BY clause crashes",
+      Symptom::kCrash, Trigger::kMissingInitialization, 2,
+      "Run a query which selects zero records and has an \"order by\" "
+      "clause; the server crashes every time.",
+      "This was due to some missing initialization statements in the sort "
+      "path."));
+  s.push_back(mk(
+      "mysql-ei-03", "parser",
+      "COUNT on an empty table crashes MySQL",
+      Symptom::kCrash, Trigger::kBoundaryInput, 3,
+      "Use a \"count\" clause on an empty table; MySQL crashes.",
+      "Caused due to missing check for empty tables."));
+  s.push_back(mk(
+      "mysql-ei-04", "server",
+      "an OPTIMIZE TABLE query crashes the server",
+      Symptom::kCrash, Trigger::kMissingInitialization, 4,
+      "Run \"OPTIMIZE TABLE t\" on any table; the server crashes.",
+      "This was caused by a missing initialization statement."));
+  s.push_back(mk(
+      "mysql-ei-05", "server",
+      "FLUSH TABLES after LOCK TABLES crashes the server",
+      Symptom::kCrash, Trigger::kLogicError, 3,
+      "Issue a \"FLUSH TABLES\" command after a \"LOCK TABLES\" command; "
+      "the server crashes.",
+      "The flush path re-acquires table locks the session already holds; "
+      "deterministic lock state-machine error."));
+
+  // ---- reconstructed EI bugs (33) ----
+  struct Ei {
+    const char* component;
+    const char* title;
+    Symptom symptom;
+    Trigger trigger;
+    int bucket;
+    const char* htr;
+    const char* comment;
+  };
+  static const Ei kEi[] = {
+      // bucket 0 (3)
+      {"parser", "SELECT with 256 columns in the column list crashes",
+       Symptom::kCrash, Trigger::kBoundaryInput, 0,
+       "Run a SELECT naming 256 columns; the server crashes parsing the "
+       "list.",
+       "Fixed-size item array in the parser; buffer overflow at the 256 "
+       "boundary."},
+      {"isam", "DELETE of the last row of a table corrupts the index",
+       Symptom::kErrorReturn, Trigger::kBoundaryInput, 0,
+       "Create a one-row table and DELETE the row; the next SELECT reports "
+       "index corruption, every time.",
+       "Root-page collapse misses the check for the now-empty tree; "
+       "empty-table boundary condition."},
+      {"client", "mysql client segfaults on a prompt longer than 80 chars",
+       Symptom::kCrash, Trigger::kBoundaryInput, 0,
+       "Set a very long prompt string; the client segfaults on startup.",
+       "Fixed 80-byte buffer; overflow on the long prompt string."},
+      // bucket 1 (4)
+      {"parser", "nested SELECT in INSERT is parsed but corrupts the table",
+       Symptom::kErrorReturn, Trigger::kLogicError, 1,
+       "Run INSERT ... SELECT where the SELECT reads the same table being "
+       "inserted into; the table ends up corrupted deterministically.",
+       "Reader and writer share the scan cursor; deterministic logic error "
+       "(later releases forbid the statement)."},
+      {"server", "GRANT with a host pattern of '%' and empty user crashes",
+       Symptom::kCrash, Trigger::kBoundaryInput, 1,
+       "Run GRANT ... TO ''@'%'; the server crashes rebuilding the "
+       "privilege cache.",
+       "Empty user name is the untested boundary in the ACL sort."},
+      {"isam", "CREATE TABLE with a key longer than 120 bytes crashes",
+       Symptom::kCrash, Trigger::kBoundaryInput, 1,
+       "Create a table with an index whose key length exceeds 120 bytes; "
+       "the server crashes instead of reporting an error.",
+       "Key buffer is fixed-size; overflow past the 120-byte boundary."},
+      {"server", "SHOW PROCESSLIST while a thread exits shows freed memory",
+       Symptom::kErrorReturn, Trigger::kLogicError, 1,
+       "Run SHOW PROCESSLIST repeatedly while clients disconnect; entries "
+       "show garbage text deterministically when a slot is reused.",
+       "The list walk copies the command string after the slot is freed; "
+       "ordering logic error (not timing dependent: the walk always reads "
+       "the freed slot)."},
+      // bucket 2 (6)
+      {"optimizer", "LEFT JOIN with an always-false ON clause returns wrong rows",
+       Symptom::kErrorReturn, Trigger::kLogicError, 2,
+       "Run a LEFT JOIN whose ON clause is a constant false; rows from the "
+       "right table appear anyway, every time.",
+       "Constant-folding marks the join as cross; deterministic optimizer "
+       "logic error."},
+      {"parser", "string literal ending in backslash crashes the lexer",
+       Symptom::kCrash, Trigger::kBoundaryInput, 2,
+       "Send a query whose last character is a backslash inside a string "
+       "literal; the lexer reads past the buffer and crashes.",
+       "Escape scan misses the end-of-buffer check; boundary condition."},
+      {"server", "TIMESTAMP column with value '0000-00-00' crashes UPDATE",
+       Symptom::kCrash, Trigger::kMissingInitialization, 2,
+       "UPDATE a row whose TIMESTAMP column holds the zero date; the "
+       "conversion crashes the thread.",
+       "The broken-down time structure is used uninitialized for the zero "
+       "date."},
+      {"isam", "table name of exactly 64 characters fails to open",
+       Symptom::kErrorReturn, Trigger::kBoundaryInput, 2,
+       "CREATE a table whose name is exactly 64 characters; the table can "
+       "be created but never opened.",
+       "Off-by-one between the create path (65-byte buffer) and the open "
+       "path (64); boundary condition."},
+      {"client", "mysqldump of a table with a blob containing NUL truncates",
+       Symptom::kErrorReturn, Trigger::kWrongVariableUsage, 2,
+       "Dump a table whose blob column contains a NUL byte; the dump file "
+       "is truncated at the NUL, every time.",
+       "Length is taken from strlen on the blob instead of the length "
+       "variable; wrong variable used."},
+      {"server", "HAVING that references a column alias twice crashes",
+       Symptom::kCrash, Trigger::kMissingInitialization, 2,
+       "SELECT a+1 AS x ... HAVING x > 0 AND x < 10; the second reference "
+       "crashes the server.",
+       "The alias resolution cache entry is used before being initialized "
+       "on the second lookup."},
+      // bucket 3 (7)
+      {"optimizer", "DISTINCT with more than 32 columns returns duplicates",
+       Symptom::kErrorReturn, Trigger::kBoundaryInput, 3,
+       "SELECT DISTINCT over 33 columns; duplicate rows are returned "
+       "deterministically.",
+       "Distinct bitmap is a 32-bit word; columns past the boundary are "
+       "ignored."},
+      {"server", "LOAD DATA INFILE with an empty lines-terminated-by crashes",
+       Symptom::kCrash, Trigger::kBoundaryInput, 3,
+       "Run LOAD DATA INFILE ... LINES TERMINATED BY ''; the server "
+       "crashes reading the first line.",
+       "Zero-length terminator makes the scan loop read past the buffer; "
+       "boundary condition."},
+      {"isam", "UPDATE of a key column inside ORDER BY LIMIT skips rows",
+       Symptom::kErrorReturn, Trigger::kLogicError, 3,
+       "UPDATE ... ORDER BY key LIMIT n where the update modifies the key; "
+       "some qualifying rows are skipped, every time.",
+       "The scan resumes from the moved key position; deterministic logic "
+       "error."},
+      {"server", "SET SQL_LOG_OFF=1 by a user without privilege crashes",
+       Symptom::kCrash, Trigger::kMissingInitialization, 3,
+       "As an unprivileged user run SET SQL_LOG_OFF=1; the privilege-check "
+       "error path crashes the thread.",
+       "The error message formats a user structure that is only initialized "
+       "for privileged sessions."},
+      {"client", "mysqladmin shutdown while a query runs corrupts the pid file",
+       Symptom::kErrorReturn, Trigger::kLogicError, 3,
+       "Run mysqladmin shutdown while a long query is executing; the pid "
+       "file is rewritten with a partial number, deterministically.",
+       "Shutdown path writes the pid file twice from two code paths; "
+       "second write truncates mid-number. Logic error in shutdown "
+       "sequencing."},
+      {"parser", "comment /* inside a string literal swallows the query",
+       Symptom::kErrorReturn, Trigger::kLogicError, 3,
+       "Send SELECT '/*' , 1; the rest of the query is treated as a "
+       "comment and the statement misparses, every time.",
+       "The comment scanner does not honor string-literal state; "
+       "deterministic lexer logic error."},
+      {"server", "ALTER TABLE on a table with no columns left crashes",
+       Symptom::kCrash, Trigger::kBoundaryInput, 3,
+       "ALTER TABLE DROP the last remaining column; the server crashes "
+       "rebuilding the empty table definition.",
+       "Zero-column definition is the untested boundary in the .frm "
+       "writer."},
+      // bucket 4 (9)
+      {"server", "SELECT INTO OUTFILE to an existing file crashes instead of erroring",
+       Symptom::kCrash, Trigger::kMissingInitialization, 4,
+       "Run SELECT ... INTO OUTFILE naming an existing file; the server "
+       "crashes in the error path.",
+       "The error branch uses the file handle that was never initialized "
+       "because open() failed."},
+      {"optimizer", "range query on a DESC index returns rows in wrong order",
+       Symptom::kErrorReturn, Trigger::kLogicError, 4,
+       "Run a BETWEEN range query on a descending-sorted key; rows come "
+       "back unordered although ORDER BY was given. Deterministic.",
+       "The optimizer marks the range scan as already sorted for the wrong "
+       "direction; logic error."},
+      {"isam", "REPAIR TABLE on a table with a fulltext key loses rows",
+       Symptom::kErrorReturn, Trigger::kLogicError, 4,
+       "Run REPAIR TABLE on a table that has a fulltext index; rows with "
+       "long words disappear, every time.",
+       "Rebuild truncates words at the buffer width and drops their rows; "
+       "deterministic logic error."},
+      {"server", "wildcard GRANT on a database named with '_' matches too much",
+       Symptom::kSecurity, Trigger::kLogicError, 4,
+       "GRANT on database a_b; users gain access to database axb as well — "
+       "a security problem, deterministic.",
+       "The underscore is treated as the LIKE wildcard in the ACL match; "
+       "logic error with security impact."},
+      {"parser", "IN list with 10000 constants crashes the server",
+       Symptom::kCrash, Trigger::kBoundaryInput, 4,
+       "Run a SELECT with an IN (...) list of ten thousand constants; the "
+       "server crashes parsing it.",
+       "Recursive tree build; stack overflow at the untested boundary."},
+      {"server", "temporary table name colliding after 32 chars breaks joins",
+       Symptom::kErrorReturn, Trigger::kBoundaryInput, 4,
+       "Create two temporary tables whose names share the first 32 "
+       "characters; joins read the wrong table deterministically.",
+       "Internal name buffer truncates at 32; boundary condition."},
+      {"client", "mysqlimport with --fields-terminated-by=\\t\\t loses columns",
+       Symptom::kErrorReturn, Trigger::kLogicError, 4,
+       "Import with a two-character field terminator; every second column "
+       "lands in the wrong field, deterministically.",
+       "The splitter advances by one byte per terminator regardless of its "
+       "length; logic error."},
+      {"server", "KILL of a thread waiting on a table lock corrupts the wait queue",
+       Symptom::kCrash, Trigger::kLogicError, 4,
+       "KILL a connection that is waiting for a table lock; the next lock "
+       "release crashes the server, every time.",
+       "The killed waiter is freed but not unlinked from the queue; "
+       "deterministic use-after-free (the queue is always walked in "
+       "order)."},
+      {"isam", "AUTO_INCREMENT wraps to zero after reaching the type maximum",
+       Symptom::kErrorReturn, Trigger::kWrongVariableUsage, 4,
+       "Insert until the AUTO_INCREMENT column reaches its type maximum; "
+       "the next insert gets id zero and violates the key, every time.",
+       "Counter kept in a variable declared as \"long\" instead of "
+       "\"unsigned long\"; wraps negative and is clamped to zero."},
+      // bucket 5 (4)
+      {"server", "CHECK TABLE on a merged table crashes the new release",
+       Symptom::kCrash, Trigger::kMissingInitialization, 5,
+       "Run CHECK TABLE on a MERGE table in 3.23.0; the server crashes.",
+       "The checker uses the child-table array before the merge open path "
+       "initializes it."},
+      {"parser", "new BINARY keyword breaks columns actually named binary",
+       Symptom::kErrorReturn, Trigger::kLogicError, 5,
+       "Upgrade a schema that has a column named \"binary\" to 3.23.0; "
+       "every query on it misparses.",
+       "The new keyword is not allowed as an identifier; deterministic "
+       "parser regression."},
+      {"server", "replication slave crashes on a zero-length binlog event",
+       Symptom::kCrash, Trigger::kBoundaryInput, 5,
+       "Point a 3.23 slave at a master whose binlog contains a zero-length "
+       "event (rotate at exact buffer boundary); the slave crashes.",
+       "Event reader subtracts the header size from a zero length; "
+       "boundary condition in the new replication code."},
+      {"optimizer", "query cache returns stale rows after DELETE in 3.23",
+       Symptom::kErrorReturn, Trigger::kLogicError, 5,
+       "SELECT, DELETE the rows, SELECT again; the second SELECT returns "
+       "the deleted rows, every time.",
+       "Invalidation key is computed from the unqualified table name; "
+       "deterministic logic error."},
+  };
+  int ei_counter = 6;
+  for (const auto& e : kEi) {
+    const std::string id = "mysql-ei-" + std::string(ei_counter < 10 ? "0" : "") +
+                           std::to_string(ei_counter);
+    ++ei_counter;
+    s.push_back(mk(id, e.component, e.title, e.symptom, e.trigger, e.bucket,
+                   e.htr, e.comment));
+  }
+  return s;
+}
+
+core::FaultClass seed_class(const SeedFault& seed) {
+  return core::fault_class_of(seed.trigger);
+}
+
+core::Fault to_fault(const SeedFault& seed) {
+  core::Fault f;
+  f.id = seed.fault_id;
+  f.app = seed.app;
+  f.title = seed.title;
+  f.symptom = seed.symptom;
+  f.trigger = seed.trigger;
+  f.fault_class = seed_class(seed);
+  f.bucket = seed.bucket;
+  return f;
+}
+
+std::vector<core::Fault> to_faults(const std::vector<SeedFault>& seeds) {
+  std::vector<core::Fault> out;
+  out.reserve(seeds.size());
+  for (const auto& s : seeds) out.push_back(to_fault(s));
+  return out;
+}
+
+std::vector<SeedFault> all_seeds() {
+  std::vector<SeedFault> out = apache_seeds();
+  auto g = gnome_seeds();
+  auto m = mysql_seeds();
+  out.insert(out.end(), std::make_move_iterator(g.begin()),
+             std::make_move_iterator(g.end()));
+  out.insert(out.end(), std::make_move_iterator(m.begin()),
+             std::make_move_iterator(m.end()));
+  return out;
+}
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,317 @@
+#include "corpus/serialize.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace faultstudy::corpus {
+
+namespace {
+
+using util::Err;
+using util::Result;
+
+std::string_view track_name(VersionTrack t) {
+  switch (t) {
+    case VersionTrack::kProduction:
+      return "production";
+    case VersionTrack::kBeta:
+      return "beta";
+    case VersionTrack::kDevelopment:
+      return "development";
+  }
+  return "?";
+}
+
+Result<VersionTrack> track_from(std::string_view s) {
+  if (s == "production") return VersionTrack::kProduction;
+  if (s == "beta") return VersionTrack::kBeta;
+  if (s == "development") return VersionTrack::kDevelopment;
+  return Err{"unknown track: " + std::string(s)};
+}
+
+std::string_view kind_name(ReportKind k) {
+  switch (k) {
+    case ReportKind::kRuntimeFailure:
+      return "runtime";
+    case ReportKind::kBuildProblem:
+      return "build";
+    case ReportKind::kInstallProblem:
+      return "install";
+    case ReportKind::kFeatureRequest:
+      return "feature";
+    case ReportKind::kDocumentation:
+      return "docs";
+    case ReportKind::kUsageQuestion:
+      return "question";
+  }
+  return "?";
+}
+
+Result<ReportKind> kind_from(std::string_view s) {
+  if (s == "runtime") return ReportKind::kRuntimeFailure;
+  if (s == "build") return ReportKind::kBuildProblem;
+  if (s == "install") return ReportKind::kInstallProblem;
+  if (s == "feature") return ReportKind::kFeatureRequest;
+  if (s == "docs") return ReportKind::kDocumentation;
+  if (s == "question") return ReportKind::kUsageQuestion;
+  return Err{"unknown kind: " + std::string(s)};
+}
+
+Result<Severity> severity_from(std::string_view s) {
+  for (int i = 0; i <= 4; ++i) {
+    const auto sev = static_cast<Severity>(i);
+    if (s == to_string(sev)) return sev;
+  }
+  return Err{"unknown severity: " + std::string(s)};
+}
+
+Result<core::AppId> app_from(std::string_view s) {
+  for (core::AppId app : core::kAllApps) {
+    if (s == core::to_string(app)) return app;
+  }
+  return Err{"unknown app: " + std::string(s)};
+}
+
+Result<int> int_from(std::string_view s) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Err{"bad integer: " + std::string(s)};
+  }
+  return value;
+}
+
+/// Body text must not contain a line that parses as a record header.
+std::string escape_body(std::string_view body) {
+  return util::replace_all(body, "== Bug", "=\\= Bug");
+}
+std::string unescape_body(std::string_view body) {
+  return util::replace_all(body, "=\\= Bug", "== Bug");
+}
+
+}  // namespace
+
+std::string tracker_to_text(const BugTracker& tracker) {
+  std::string out;
+  for (const BugReport& r : tracker.reports()) {
+    out += "== Bug " + std::to_string(r.id) + " ==\n";
+    out += "App: " + std::string(core::to_string(r.app)) + '\n';
+    out += "Component: " + r.component + '\n';
+    out += "Version: " + r.version + '\n';
+    out += "Track: " + std::string(track_name(r.track)) + '\n';
+    out += "Severity: " + std::string(to_string(r.severity)) + '\n';
+    out += "Kind: " + std::string(kind_name(r.kind)) + '\n';
+    out += "Date: " + std::to_string(r.date.days) + '\n';
+    out += "Release-Ordinal: " + std::to_string(r.release_ordinal) + '\n';
+    out += "Fixed: " + std::string(r.fixed ? "yes" : "no") + '\n';
+    if (!r.fault_id.empty()) out += "X-Truth-Fault: " + r.fault_id + '\n';
+    if (r.truth_class.has_value()) {
+      out += "X-Truth-Class: " + std::string(core::to_code(*r.truth_class)) + '\n';
+    }
+    out += "Title: " + r.text.title + '\n';
+    out += "How-To-Repeat: " + r.text.how_to_repeat + '\n';
+    out += "Comments: " + r.text.developer_comments + '\n';
+    out += "Body:\n" + escape_body(r.text.body) + '\n';
+  }
+  return out;
+}
+
+util::Result<BugTracker> tracker_from_text(std::string_view text) {
+  std::optional<core::AppId> app;
+  std::vector<BugReport> reports;
+  BugReport* current = nullptr;
+  bool in_body = false;
+
+  for (const auto raw_line : util::split(text, '\n')) {
+    std::string_view line = raw_line;
+    if (line.starts_with("== Bug ")) {
+      in_body = false;
+      BugReport r;
+      auto header = line.substr(7);
+      const auto end = header.find(' ');
+      const auto id = int_from(header.substr(0, end));
+      if (!id.ok()) return Err{id.error()};
+      r.id = static_cast<std::uint64_t>(id.value());
+      reports.push_back(std::move(r));
+      current = &reports.back();
+      continue;
+    }
+    if (current == nullptr) {
+      if (util::trim(line).empty()) continue;
+      return Err{std::string("content before first record header")};
+    }
+    if (in_body) {
+      if (!current->text.body.empty()) current->text.body += '\n';
+      current->text.body += unescape_body(line);
+      continue;
+    }
+    if (line == "Body:") {
+      in_body = true;
+      continue;
+    }
+    const auto colon = line.find(": ");
+    if (colon == std::string_view::npos) {
+      if (util::trim(line).empty()) continue;
+      return Err{"malformed field line: " + std::string(line)};
+    }
+    const auto key = line.substr(0, colon);
+    const auto value = line.substr(colon + 2);
+
+    if (key == "App") {
+      auto parsed = app_from(value);
+      if (!parsed.ok()) return Err{parsed.error()};
+      current->app = parsed.value();
+      if (!app.has_value()) app = current->app;
+      if (*app != current->app) {
+        return Err{std::string("mixed applications in one tracker dump")};
+      }
+    } else if (key == "Component") {
+      current->component = std::string(value);
+    } else if (key == "Version") {
+      current->version = std::string(value);
+    } else if (key == "Track") {
+      auto parsed = track_from(value);
+      if (!parsed.ok()) return Err{parsed.error()};
+      current->track = parsed.value();
+    } else if (key == "Severity") {
+      auto parsed = severity_from(value);
+      if (!parsed.ok()) return Err{parsed.error()};
+      current->severity = parsed.value();
+    } else if (key == "Kind") {
+      auto parsed = kind_from(value);
+      if (!parsed.ok()) return Err{parsed.error()};
+      current->kind = parsed.value();
+    } else if (key == "Date") {
+      auto parsed = int_from(value);
+      if (!parsed.ok()) return Err{parsed.error()};
+      current->date.days = parsed.value();
+    } else if (key == "Release-Ordinal") {
+      auto parsed = int_from(value);
+      if (!parsed.ok()) return Err{parsed.error()};
+      current->release_ordinal = parsed.value();
+    } else if (key == "Fixed") {
+      current->fixed = value == "yes";
+    } else if (key == "X-Truth-Fault") {
+      current->fault_id = std::string(value);
+    } else if (key == "X-Truth-Class") {
+      current->truth_class = core::fault_class_from_code(value);
+    } else if (key == "Title") {
+      current->text.title = std::string(value);
+    } else if (key == "How-To-Repeat") {
+      current->text.how_to_repeat = std::string(value);
+    } else if (key == "Comments") {
+      current->text.developer_comments = std::string(value);
+    }
+    // Unknown keys are skipped (forward compatibility).
+  }
+
+  if (!app.has_value()) return Err{std::string("no records found")};
+  BugTracker tracker(*app);
+  for (auto& r : reports) {
+    // Trailing newline artifacts from the final Body block.
+    while (!r.text.body.empty() && r.text.body.back() == '\n') {
+      r.text.body.pop_back();
+    }
+    tracker.add(std::move(r));
+  }
+  return tracker;
+}
+
+std::string mailinglist_to_mbox(const MailingList& list) {
+  std::string out;
+  for (const MailMessage& m : list.messages()) {
+    out += "From " + (m.sender.empty() ? std::string("unknown") : m.sender) +
+           "\n";
+    out += "Message-ID: <" + std::to_string(m.id) + "@list>\n";
+    out += "In-Reply-To: <" + std::to_string(m.thread_id) + "@list>\n";
+    out += "Date: " + std::to_string(m.date.days) + "\n";
+    out += "Subject: " + m.subject + "\n";
+    if (!m.fault_id.empty()) out += "X-Truth-Fault: " + m.fault_id + "\n";
+    if (m.truth_class.has_value()) {
+      out += "X-Truth-Class: " + std::string(core::to_code(*m.truth_class)) + "\n";
+    }
+    out += "\n";
+    // mbox body escaping: "From " at line start becomes ">From ".
+    out += util::replace_all("\n" + m.body, "\nFrom ", "\n>From ").substr(1);
+    if (!m.body.empty() && m.body.back() != '\n') out += '\n';
+    out += '\n';
+  }
+  return out;
+}
+
+util::Result<MailingList> mailinglist_from_mbox(std::string_view text) {
+  MailingList list;
+  MailMessage current;
+  bool have_message = false;
+  bool in_body = false;
+  std::string body;
+
+  const auto flush = [&]() {
+    if (!have_message) return;
+    while (!body.empty() && body.back() == '\n') body.pop_back();
+    current.body = util::replace_all("\n" + body, "\n>From ", "\nFrom ")
+                       .substr(1);
+    list.add(current);
+    current = MailMessage{};
+    body.clear();
+    in_body = false;
+  };
+
+  for (const auto raw_line : util::split(text, '\n')) {
+    std::string_view line = raw_line;
+    if (line.starts_with("From ")) {
+      // Message separator. Inside bodies "From " is escaped as ">From ",
+      // so an unescaped occurrence always starts a new message.
+      if (have_message) flush();
+      current.sender = std::string(line.substr(5));
+      have_message = true;
+      continue;
+    }
+    if (!have_message) {
+      if (util::trim(line).empty()) continue;
+      return Err{std::string("content before first 'From ' separator")};
+    }
+    if (in_body) {
+      body += std::string(line) + "\n";
+      continue;
+    }
+    if (line.empty()) {
+      in_body = true;
+      continue;
+    }
+    const auto colon = line.find(": ");
+    if (colon == std::string_view::npos) continue;
+    const auto key = line.substr(0, colon);
+    auto value = line.substr(colon + 2);
+    if (key == "Message-ID" || key == "In-Reply-To") {
+      if (value.size() > 2 && value.front() == '<') {
+        value = value.substr(1);
+        const auto at = value.find('@');
+        if (at != std::string_view::npos) value = value.substr(0, at);
+      }
+      auto parsed = int_from(value);
+      if (!parsed.ok()) return Err{parsed.error()};
+      if (key == "Message-ID") {
+        current.id = static_cast<std::uint64_t>(parsed.value());
+      } else {
+        current.thread_id = static_cast<std::uint64_t>(parsed.value());
+      }
+    } else if (key == "Date") {
+      auto parsed = int_from(value);
+      if (!parsed.ok()) return Err{parsed.error()};
+      current.date.days = parsed.value();
+    } else if (key == "Subject") {
+      current.subject = std::string(value);
+    } else if (key == "X-Truth-Fault") {
+      current.fault_id = std::string(value);
+    } else if (key == "X-Truth-Class") {
+      current.truth_class = core::fault_class_from_code(value);
+    }
+  }
+  flush();
+  if (list.size() == 0) return Err{std::string("no messages found")};
+  return list;
+}
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,57 @@
+// Corpus serialization: a bugzilla-style record format for trackers and an
+// mbox-style format for mailing lists.
+//
+// The 1999 sources were on-disk archives; this module gives the library the
+// same ingestion path. Both formats are plain text, diffable, and
+// round-trip every field the pipeline consumes. Ground-truth fields are
+// serialized too (prefixed X-Truth-) so planted corpora can be shipped as
+// files and still drive end-to-end evaluation.
+//
+// Tracker record format (one report):
+//
+//   == Bug 1234 ==
+//   App: Apache
+//   Component: core
+//   Version: 1.3.0
+//   Track: production
+//   Severity: critical
+//   Kind: runtime
+//   Date: 512
+//   Release-Ordinal: 2
+//   Fixed: yes
+//   X-Truth-Fault: apache-ei-01
+//   X-Truth-Class: EI
+//   Title: dies with a segfault ...
+//   How-To-Repeat: Submit a very long URL ...
+//   Comments: This problem was a result of ...
+//   Body:
+//   free text until the next '== Bug' header
+//
+// Multiline Body is terminated by the next record header or EOF. The mbox
+// format follows the classic "From " separator convention with normal
+// headers (Subject, Date, Message-ID, In-Reply-To carrying the thread id).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "corpus/mailinglist.hpp"
+#include "corpus/tracker.hpp"
+#include "util/result.hpp"
+
+namespace faultstudy::corpus {
+
+/// Serializes a whole tracker.
+std::string tracker_to_text(const BugTracker& tracker);
+
+/// Parses a tracker dump. The application is taken from the records (all
+/// records must agree).
+util::Result<BugTracker> tracker_from_text(std::string_view text);
+
+/// Serializes a mailing list as mbox.
+std::string mailinglist_to_mbox(const MailingList& list);
+
+/// Parses an mbox dump.
+util::Result<MailingList> mailinglist_from_mbox(std::string_view text);
+
+}  // namespace faultstudy::corpus

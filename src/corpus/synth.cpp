@@ -1,0 +1,368 @@
+#include "corpus/synth.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace faultstudy::corpus {
+
+namespace {
+
+using util::Rng;
+
+// ---------------------------------------------------------------------------
+// Shared text banks
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kDupOpeners[] = {
+    "I am seeing the same problem. ",
+    "Me too. ",
+    "Confirming this on my machine as well. ",
+    "We hit this in production yesterday. ",
+    "Same here after upgrading. ",
+    "This also happens for me. ",
+};
+
+constexpr std::string_view kDupClosers[] = {
+    " Any workaround would be appreciated.",
+    " Please let me know if you need more information.",
+    " Happy to test a patch.",
+    " This is blocking our deployment.",
+    " Attached is the backtrace.",
+    "",
+};
+
+constexpr std::string_view kDupTitlePrefixes[] = {
+    "", "", "Re: ", "Same as: ", "Another report: ", "[dup?] ",
+};
+
+// Noise-report subject material that does NOT collide with the cue lexicon
+// or the study keywords.
+constexpr std::string_view kNoiseTopics[] = {
+    "configure script fails on AIX",
+    "make fails with undefined reference",
+    "installation directory layout question",
+    "documentation for module options is unclear",
+    "feature request: please add an option to colorize output",
+    "typo in the manual page",
+    "how do I set up virtual hosts",
+    "performance tuning advice wanted",
+    "license question about bundled libraries",
+    "wishlist: nicer default theme",
+    "build warning with gcc on alpha",
+    "request: debian packaging improvements",
+    "cannot find header file during compilation",
+    "question about upgrade procedure",
+    "translation update for the locale files",
+};
+
+constexpr std::string_view kNoiseBodies[] = {
+    "The configure step stops half way through. I am probably missing a "
+    "development package, suggestions welcome.",
+    "This is not a failure of the running program, just something I noticed "
+    "while reading the documentation.",
+    "It would be nice if a future version offered this. Not urgent.",
+    "I am new to this software and could not find the answer in the FAQ.",
+    "The build completes with warnings on my platform; everything seems to "
+    "work afterwards.",
+    "Asking here before filing anything serious: is this intended behavior?",
+    "The manual page and the online docs disagree about the default value.",
+};
+
+// Keyword-bearing chatter for the mailing list: contains a study keyword in
+// a context that is NOT a usable bug report (no How-To-Repeat section).
+constexpr std::string_view kKeywordChatter[] = {
+    "Don't worry, changing this setting will not crash your server. It only "
+    "affects the buffer sizes.",
+    "My old disk died last week, so I am restoring from backups. Nothing "
+    "wrong with the database software itself.",
+    "The benchmark race between the two storage engines was fun to read "
+    "about in the newsletter.",
+    "After the power failure the machine rebooted fine; no crash in the "
+    "logs, just asking how to verify table integrity.",
+    "The segmentation of the market into hosting providers and in-house "
+    "shops is discussed in this month's trade article.",
+    "If your client crashed because of the firewall timeout, that is not a "
+    "server problem; increase the keepalive.",
+};
+
+constexpr std::string_view kSenders[] = {
+    "alice@example.net",  "bob@hosting.example", "carol@isp.example",
+    "dave@lab.example",   "erin@corp.example",   "frank@edu.example",
+    "grace@web.example",  "heidi@dev.example",
+};
+
+std::string pick_sv(Rng& rng, std::span<const std::string_view> bank) {
+  return std::string(bank[static_cast<std::size_t>(rng.below(bank.size()))]);
+}
+
+/// Paraphrases a seed's text for a duplicate report: opener + the seed's
+/// how-to-repeat (the durable part users copy into reports) + closer.
+std::string duplicate_body(Rng& rng, const SeedFault& seed) {
+  std::string body = pick_sv(rng, kDupOpeners);
+  body += seed.how_to_repeat;
+  body += pick_sv(rng, kDupClosers);
+  return body;
+}
+
+std::string duplicate_title(Rng& rng, const SeedFault& seed) {
+  return pick_sv(rng, kDupTitlePrefixes) + seed.title;
+}
+
+Severity severe_or_critical(Rng& rng) {
+  return rng.chance(0.4) ? Severity::kCritical : Severity::kSevere;
+}
+
+Severity below_severe(Rng& rng) {
+  static constexpr Severity kLow[] = {Severity::kWishlist, Severity::kMinor,
+                                      Severity::kNormal};
+  return kLow[static_cast<std::size_t>(rng.below(3))];
+}
+
+// ---------------------------------------------------------------------------
+// Tracker generation (Apache, GNOME)
+// ---------------------------------------------------------------------------
+
+struct TrackerShape {
+  core::AppId app;
+  const std::vector<std::string>* releases;  ///< null => GNOME time buckets
+  std::size_t total_reports;
+};
+
+Date date_for_bucket(Rng& rng, const TrackerShape& shape, int bucket) {
+  if (shape.releases != nullptr) {
+    // Release r ships at day r*90; reports against it arrive over the next
+    // ~90 days.
+    return Date{bucket * 90 + static_cast<int>(rng.below(90))};
+  }
+  return gnome_date_in_bucket(bucket, static_cast<int>(rng.below(61)));
+}
+
+std::string version_for_bucket(const TrackerShape& shape, int bucket) {
+  if (shape.releases != nullptr) return (*shape.releases)[static_cast<std::size_t>(bucket)];
+  // GNOME modules release independently; version strings are per-component
+  // and do not drive bucketing (dates do).
+  return "1." + std::to_string(bucket) + ".0";
+}
+
+BugReport seed_primary(Rng& rng, const TrackerShape& shape,
+                       const SeedFault& seed) {
+  BugReport r;
+  r.app = shape.app;
+  r.component = seed.component;
+  r.release_ordinal = seed.bucket;
+  r.version = version_for_bucket(shape, seed.bucket);
+  r.track = VersionTrack::kProduction;
+  r.severity = severe_or_critical(rng);
+  r.kind = ReportKind::kRuntimeFailure;
+  r.date = date_for_bucket(rng, shape, seed.bucket);
+  r.text.title = seed.title;
+  r.text.body = "Observed on a production machine. " + seed.how_to_repeat;
+  r.text.how_to_repeat = seed.how_to_repeat;
+  r.text.developer_comments = seed.developer_comment;
+  r.fixed = true;
+  r.fix_note = seed.developer_comment;
+  r.fault_id = seed.fault_id;
+  r.truth_trigger = seed.trigger;
+  r.truth_class = seed_class(seed);
+  return r;
+}
+
+BugReport seed_duplicate(Rng& rng, const TrackerShape& shape,
+                         const SeedFault& seed) {
+  BugReport r;
+  r.app = shape.app;
+  r.component = seed.component;
+  r.release_ordinal = seed.bucket;
+  r.version = version_for_bucket(shape, seed.bucket);
+  r.track = VersionTrack::kProduction;
+  r.severity = severe_or_critical(rng);
+  r.kind = ReportKind::kRuntimeFailure;
+  r.date = date_for_bucket(rng, shape, seed.bucket);
+  r.text.title = duplicate_title(rng, seed);
+  r.text.body = duplicate_body(rng, seed);
+  // Duplicate reporters usually restate how to repeat; some leave it empty.
+  if (rng.chance(0.7)) r.text.how_to_repeat = seed.how_to_repeat;
+  // Developers close duplicates with a pointer, not a fresh diagnosis.
+  r.text.developer_comments = "Duplicate of an existing report.";
+  r.fixed = true;
+  r.fault_id = seed.fault_id;
+  r.truth_trigger = seed.trigger;
+  r.truth_class = seed_class(seed);
+  return r;
+}
+
+BugReport noise_report(Rng& rng, const TrackerShape& shape, int num_buckets) {
+  BugReport r;
+  r.app = shape.app;
+  r.component = "misc";
+  const int bucket = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_buckets)));
+  r.release_ordinal = bucket;
+  r.date = date_for_bucket(rng, shape, bucket);
+  r.text.title = pick_sv(rng, kNoiseTopics);
+  r.text.body = pick_sv(rng, kNoiseBodies);
+
+  // Constrain the metadata so the paper's selection criteria reject the
+  // report: wrong kind, low severity, or non-production version.
+  switch (rng.below(3)) {
+    case 0:
+      r.kind = static_cast<ReportKind>(1 + rng.below(5));  // non-runtime
+      r.severity = severe_or_critical(rng);
+      r.track = VersionTrack::kProduction;
+      break;
+    case 1:
+      r.kind = ReportKind::kRuntimeFailure;
+      r.severity = below_severe(rng);
+      r.track = VersionTrack::kProduction;
+      break;
+    default:
+      r.kind = ReportKind::kRuntimeFailure;
+      r.severity = severe_or_critical(rng);
+      r.track = rng.chance(0.5) ? VersionTrack::kBeta
+                                : VersionTrack::kDevelopment;
+      r.version = version_for_bucket(shape, bucket) + "-dev";
+      break;
+  }
+  if (r.version.empty()) r.version = version_for_bucket(shape, bucket);
+  return r;
+}
+
+BugTracker make_tracker(const TrackerShape& shape,
+                        const std::vector<SeedFault>& seeds,
+                        const SynthConfig& config, std::uint64_t stream) {
+  Rng rng(config.seed ^ stream);
+  BugTracker tracker(shape.app);
+
+  int num_buckets = 0;
+  for (const auto& s : seeds) num_buckets = std::max(num_buckets, s.bucket + 1);
+
+  std::size_t produced = 0;
+  for (const auto& seed : seeds) {
+    tracker.add(seed_primary(rng, shape, seed));
+    ++produced;
+    const int dups = rng.poisson(config.mean_duplicates);
+    for (int d = 0; d < dups && produced < shape.total_reports; ++d) {
+      tracker.add(seed_duplicate(rng, shape, seed));
+      ++produced;
+    }
+  }
+  while (produced < shape.total_reports) {
+    tracker.add(noise_report(rng, shape, num_buckets));
+    ++produced;
+  }
+  return tracker;
+}
+
+// ---------------------------------------------------------------------------
+// Mailing-list generation (MySQL)
+// ---------------------------------------------------------------------------
+
+/// Keyword the reporter naturally uses for a symptom ("crash",
+/// "segmentation", "race", "died" — the paper's search set).
+std::string_view keyword_for(const SeedFault& seed) {
+  if (seed.trigger == core::Trigger::kRaceCondition) return "race";
+  switch (seed.symptom) {
+    case core::Symptom::kCrash:
+      return "crash";
+    case core::Symptom::kHang:
+      return "died";
+    default:
+      return "crash";
+  }
+}
+
+MailMessage seed_root_message(Rng& rng, const SeedFault& seed,
+                              const std::vector<std::string>& releases) {
+  MailMessage m;
+  m.date = Date{seed.bucket * 90 + static_cast<int>(rng.below(90))};
+  m.subject = seed.title;
+  m.sender = pick_sv(rng, kSenders);
+  m.body = "Description: " + seed.title + " (" +
+           std::string(keyword_for(seed)) + " observed).\n" +
+           "How-To-Repeat: " + seed.how_to_repeat + "\n" +
+           "Version: " + releases[static_cast<std::size_t>(seed.bucket)] + "\n";
+  m.fault_id = seed.fault_id;
+  m.truth_trigger = seed.trigger;
+  m.truth_class = seed_class(seed);
+  return m;
+}
+
+MailMessage seed_reply(Rng& rng, const SeedFault& seed, std::uint64_t thread,
+                       bool developer) {
+  MailMessage m;
+  m.thread_id = thread;
+  m.date = Date{seed.bucket * 90 + static_cast<int>(rng.below(90))};
+  m.subject = "Re: " + seed.title;
+  m.sender = developer ? "monty@mysql.example" : pick_sv(rng, kSenders);
+  m.body = developer ? seed.developer_comment : duplicate_body(rng, seed);
+  m.fault_id = seed.fault_id;
+  m.truth_trigger = seed.trigger;
+  m.truth_class = seed_class(seed);
+  return m;
+}
+
+MailMessage chatter_message(Rng& rng, bool with_keyword) {
+  MailMessage m;
+  m.date = Date{static_cast<int>(rng.below(540))};
+  m.sender = pick_sv(rng, kSenders);
+  if (with_keyword) {
+    m.subject = "question from the list";
+    m.body = pick_sv(rng, kKeywordChatter);
+  } else {
+    m.subject = pick_sv(rng, kNoiseTopics);
+    m.body = pick_sv(rng, kNoiseBodies);
+  }
+  return m;
+}
+
+}  // namespace
+
+int gnome_bucket_of_date(Date date) noexcept {
+  // GNOME's study window starts 1998-09 (day 243); two-month buckets.
+  return (date.days - 243) / 61;
+}
+
+Date gnome_date_in_bucket(int bucket, int offset_days) noexcept {
+  return Date{243 + bucket * 61 + offset_days};
+}
+
+BugTracker make_apache_tracker(const SynthConfig& config) {
+  return make_tracker({core::AppId::kApache, &apache_releases(),
+                       config.apache_total},
+                      apache_seeds(), config, 0xA9AC4Eull);
+}
+
+BugTracker make_gnome_tracker(const SynthConfig& config) {
+  return make_tracker({core::AppId::kGnome, nullptr, config.gnome_total},
+                      gnome_seeds(), config, 0x6E03Eull);
+}
+
+MailingList make_mysql_list(const SynthConfig& config) {
+  Rng rng(config.seed ^ 0x3A15Full);
+  MailingList list;
+  const auto seeds = mysql_seeds();
+  std::size_t produced = 0;
+
+  for (const auto& seed : seeds) {
+    const std::uint64_t root = list.add(seed_root_message(rng, seed,
+                                                          mysql_releases()));
+    ++produced;
+    // Every thread gets the developer's diagnosis plus some follow-ups.
+    list.add(seed_reply(rng, seed, root, /*developer=*/true));
+    ++produced;
+    const int followups = rng.poisson(config.mean_duplicates);
+    for (int i = 0; i < followups; ++i) {
+      list.add(seed_reply(rng, seed, root, /*developer=*/false));
+      ++produced;
+    }
+  }
+  while (produced < config.mysql_messages) {
+    list.add(chatter_message(rng, rng.chance(config.keyword_chatter_rate)));
+    ++produced;
+  }
+  return list;
+}
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,39 @@
+#include "corpus/tracker.hpp"
+
+#include <unordered_set>
+
+namespace faultstudy::corpus {
+
+std::uint64_t BugTracker::add(BugReport report) {
+  if (report.id == 0) report.id = next_id_++;
+  else if (report.id >= next_id_) next_id_ = report.id + 1;
+  const std::uint64_t id = report.id;
+  reports_.push_back(std::move(report));
+  return id;
+}
+
+const BugReport* BugTracker::find(std::uint64_t id) const noexcept {
+  for (const auto& r : reports_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<BugReport> BugTracker::select(
+    const std::function<bool(const BugReport&)>& pred) const {
+  std::vector<BugReport> out;
+  for (const auto& r : reports_) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t BugTracker::distinct_faults() const {
+  std::unordered_set<std::string> ids;
+  for (const auto& r : reports_) {
+    if (!r.fault_id.empty()) ids.insert(r.fault_id);
+  }
+  return ids.size();
+}
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,40 @@
+// An in-memory bug tracker: the container the mining pipeline reads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "corpus/report.hpp"
+
+namespace faultstudy::corpus {
+
+class BugTracker {
+ public:
+  explicit BugTracker(core::AppId app) : app_(app) {}
+
+  core::AppId app() const noexcept { return app_; }
+
+  /// Adds a report; assigns the next id if report.id is zero.
+  std::uint64_t add(BugReport report);
+
+  std::span<const BugReport> reports() const noexcept { return reports_; }
+  std::size_t size() const noexcept { return reports_.size(); }
+
+  const BugReport* find(std::uint64_t id) const noexcept;
+
+  /// Reports satisfying a predicate (copies, for pipeline-stage handoff).
+  std::vector<BugReport> select(
+      const std::function<bool(const BugReport&)>& pred) const;
+
+  /// Number of distinct ground-truth fault ids present (test helper).
+  std::size_t distinct_faults() const;
+
+ private:
+  core::AppId app_;
+  std::vector<BugReport> reports_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace faultstudy::corpus

@@ -1,0 +1,24 @@
+// Virtual time for the simulated operating environment.
+//
+// One tick is an abstract unit (~1 ms of wall time). Transient conditions
+// (a broken DNS server, a starved entropy pool, a slow network) heal after a
+// number of ticks; recovery mechanisms consume ticks, which is exactly why
+// they can outlive transient conditions.
+#pragma once
+
+#include <cstdint>
+
+namespace faultstudy::env {
+
+using Tick = std::int64_t;
+
+class VirtualClock {
+ public:
+  Tick now() const noexcept { return now_; }
+  void advance(Tick ticks) noexcept { now_ += ticks > 0 ? ticks : 0; }
+
+ private:
+  Tick now_ = 0;
+};
+
+}  // namespace faultstudy::env

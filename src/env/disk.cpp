@@ -1,0 +1,62 @@
+#include "env/disk.hpp"
+
+namespace faultstudy::env {
+
+Disk::WriteResult Disk::append(const std::string& path, std::uint64_t bytes) {
+  if (free_space() < bytes) return WriteResult::kNoSpace;
+  auto& info = files_[path];
+  if (info.size + bytes > max_file_size_) return WriteResult::kFileTooBig;
+  info.size += bytes;
+  used_ += bytes;
+  return WriteResult::kOk;
+}
+
+void Disk::truncate(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return;
+  used_ -= it->second.size;
+  it->second.size = 0;
+}
+
+void Disk::remove(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return;
+  used_ -= it->second.size;
+  files_.erase(it);
+}
+
+void Disk::consume_external(std::uint64_t target_used) {
+  if (target_used <= used_) return;
+  const std::uint64_t grow = target_used - used_;
+  files_["/external/ballast"].size += grow;
+  used_ += grow;
+}
+
+std::optional<FileInfo> Disk::stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Disk::set_owner(const std::string& path, std::int64_t uid) {
+  files_[path].owner_uid = uid;
+}
+
+std::vector<std::string> Disk::list_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, info] : files_) {
+    (void)info;
+    if (path.starts_with(prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+std::uint64_t Disk::used_under(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& [path, info] : files_) {
+    if (path.starts_with(prefix)) total += info.size;
+  }
+  return total;
+}
+
+}  // namespace faultstudy::env

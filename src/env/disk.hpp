@@ -1,0 +1,73 @@
+// Simulated file system: capacity, per-file sizes, a per-file size limit,
+// and file metadata (the owner field a GNOME fault chokes on).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace faultstudy::env {
+
+struct FileInfo {
+  std::uint64_t size = 0;
+  /// Owner uid; a negative value is the "illegal value in the owner field"
+  /// from the GNOME study.
+  std::int64_t owner_uid = 0;
+};
+
+class Disk {
+ public:
+  Disk(std::uint64_t capacity_bytes, std::uint64_t max_file_size)
+      : capacity_(capacity_bytes), max_file_size_(max_file_size) {}
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::uint64_t free_space() const noexcept { return capacity_ - used_; }
+  std::uint64_t max_file_size() const noexcept { return max_file_size_; }
+  bool full() const noexcept { return used_ >= capacity_; }
+
+  enum class WriteResult { kOk, kNoSpace, kFileTooBig };
+
+  /// Appends `bytes` to `path` (creating it if absent).
+  WriteResult append(const std::string& path, std::uint64_t bytes);
+
+  /// Truncates a file to zero length, reclaiming its space.
+  void truncate(const std::string& path);
+
+  /// Removes a file entirely.
+  void remove(const std::string& path);
+
+  /// Fills the disk up to `target_used` bytes with an external file (models
+  /// other tenants of the file system).
+  void consume_external(std::uint64_t target_used);
+
+  std::optional<FileInfo> stat(const std::string& path) const;
+  void set_owner(const std::string& path, std::int64_t uid);
+
+  /// Grows the volume (the paper: "some systems may provide a way to
+  /// automatically increase the disk capacity and hence avoid the bug
+  /// during retry. If this becomes common, we would re-classify this as an
+  /// environment-dependent-transient fault").
+  void grow(std::uint64_t extra_bytes) noexcept { capacity_ += extra_bytes; }
+
+  /// Raises the per-file size limit (e.g. large-file support enabled).
+  void raise_file_size_limit(std::uint64_t new_limit) noexcept {
+    if (new_limit > max_file_size_) max_file_size_ = new_limit;
+  }
+
+  /// Paths with the given prefix (e.g. the app's cache directory).
+  std::vector<std::string> list_prefix(const std::string& prefix) const;
+
+  /// Total bytes under a path prefix.
+  std::uint64_t used_under(const std::string& prefix) const;
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t max_file_size_;
+  std::uint64_t used_ = 0;
+  std::unordered_map<std::string, FileInfo> files_;
+};
+
+}  // namespace faultstudy::env

@@ -1,0 +1,46 @@
+#include "env/dns.hpp"
+
+namespace faultstudy::env {
+
+DnsHealth DnsServer::health(Tick now) const noexcept {
+  return now < forced_until_ ? forced_ : DnsHealth::kHealthy;
+}
+
+void DnsServer::break_until(DnsHealth state, Tick until) noexcept {
+  forced_ = state;
+  forced_until_ = until;
+}
+
+DnsReply DnsServer::resolve(const std::string& host, Tick now) const {
+  (void)host;
+  switch (health(now)) {
+    case DnsHealth::kErroring:
+      return {.ok = false, .latency = kNormalLatency};
+    case DnsHealth::kSlow:
+      return {.ok = true, .latency = kSlowLatency};
+    case DnsHealth::kHealthy:
+      break;
+  }
+  return {.ok = true, .latency = kNormalLatency};
+}
+
+DnsReply DnsServer::reverse(const std::string& address, Tick now) const {
+  if (!reverse_records_.contains(address)) {
+    return {.ok = false, .latency = kNormalLatency};
+  }
+  return resolve(address, now);
+}
+
+void DnsServer::configure_reverse(const std::string& address) {
+  reverse_records_.insert(address);
+}
+
+void DnsServer::remove_reverse(const std::string& address) {
+  reverse_records_.erase(address);
+}
+
+bool DnsServer::has_reverse(const std::string& address) const {
+  return reverse_records_.contains(address);
+}
+
+}  // namespace faultstudy::env

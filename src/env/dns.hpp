@@ -1,0 +1,52 @@
+// Simulated Domain Name Service.
+//
+// DNS is the environment's most-cited transient actor in the study: lookups
+// can error, respond slowly, or lack reverse records. Error and slow states
+// heal after a deadline (someone restarts the name server or fixes the
+// network) — the property that makes kDnsError/kDnsSlow transient. Missing
+// reverse DNS, by contrast, is configuration: it stays missing until set.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "env/clock.hpp"
+
+namespace faultstudy::env {
+
+enum class DnsHealth { kHealthy, kErroring, kSlow };
+
+struct DnsReply {
+  bool ok = false;
+  Tick latency = 0;
+};
+
+class DnsServer {
+ public:
+  DnsHealth health(Tick now) const noexcept;
+
+  /// Puts the server into a failure state until `now + duration`.
+  void break_until(DnsHealth state, Tick until) noexcept;
+
+  /// Forward lookup. Errors while kErroring; while kSlow succeeds with a
+  /// latency above any sane client timeout.
+  DnsReply resolve(const std::string& host, Tick now) const;
+
+  /// Reverse lookup of a client address; fails when the address has no
+  /// PTR record configured.
+  DnsReply reverse(const std::string& address, Tick now) const;
+
+  void configure_reverse(const std::string& address);
+  void remove_reverse(const std::string& address);
+  bool has_reverse(const std::string& address) const;
+
+  static constexpr Tick kNormalLatency = 2;
+  static constexpr Tick kSlowLatency = 5000;
+
+ private:
+  DnsHealth forced_ = DnsHealth::kHealthy;
+  Tick forced_until_ = 0;
+  std::unordered_set<std::string> reverse_records_;
+};
+
+}  // namespace faultstudy::env

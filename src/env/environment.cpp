@@ -1,0 +1,13 @@
+#include "env/environment.hpp"
+
+namespace faultstudy::env {
+
+Environment::Environment(const EnvironmentConfig& config)
+    : config_(config),
+      processes_(config.process_slots),
+      fds_(config.fd_slots),
+      disk_(config.disk_capacity, config.max_file_size),
+      scheduler_(config.seed),
+      entropy_(config.entropy_bits, config.entropy_refill_per_tick) {}
+
+}  // namespace faultstudy::env

@@ -1,0 +1,28 @@
+#include "env/interleave.hpp"
+
+namespace faultstudy::env {
+
+int interleave_position(Scheduler& scheduler, int a_steps) {
+  if (a_steps < 0) a_steps = 0;
+  const Interleaving draw = scheduler.draw();
+  // Map the interleaving phase onto the a_steps+1 possible positions.
+  const int positions = a_steps + 1;
+  int p = static_cast<int>(draw.phase * positions);
+  if (p >= positions) p = positions - 1;
+  return p;
+}
+
+bool signal_mask_race(Scheduler& scheduler, int a_steps,
+                      int mask_computed_at) {
+  const int p = interleave_position(scheduler, a_steps);
+  // The vulnerable gap: after the mask is computed, before it is applied.
+  return p == mask_computed_at + 1;
+}
+
+bool request_removal_race(Scheduler& scheduler, int a_steps,
+                          int request_registered_at) {
+  const int p = interleave_position(scheduler, a_steps);
+  return p == request_registered_at + 1;
+}
+
+}  // namespace faultstudy::env

@@ -1,0 +1,37 @@
+// Structural two-thread interleavings.
+//
+// Rather than parameterizing every race by an abstract hazard window, the
+// described race faults can be given their real shape: thread A executes a
+// short sequence of atomic steps, thread B contributes one step (a signal
+// delivery, an applet-removal notification), and the scheduler decides
+// where B's step lands among A's. The race fires exactly when B lands in
+// A's vulnerable gap — the probability of triggering *emerges from the
+// structure* (vulnerable gaps / possible positions) instead of being a
+// tuning knob, and retry redraws the position, which is the paper's
+// transience argument in mechanical form.
+#pragma once
+
+#include "env/scheduler.hpp"
+
+namespace faultstudy::env {
+
+/// Where thread B's single step lands among A's `a_steps` atomic steps:
+/// position p in [0, a_steps] means "after A's first p steps". Uniform over
+/// positions, driven by (and subject to the replay bias of) the scheduler.
+int interleave_position(Scheduler& scheduler, int a_steps);
+
+/// The signal-mask race (mysql-edt-01): thread A computes its new signal
+/// mask at step `mask_computed_at` and applies it one step later; a signal
+/// arriving exactly in that gap hits the torn-down handler state.
+/// Returns true when the race fires.
+bool signal_mask_race(Scheduler& scheduler, int a_steps,
+                      int mask_computed_at);
+
+/// The request-vs-removal race (gnome-edt-03): the applet's action request
+/// is registered at step `request_registered_at`; the removal path
+/// invalidates the applet one step later. A removal notification landing in
+/// the gap leaves the panel holding a dangling applet reference.
+bool request_removal_race(Scheduler& scheduler, int a_steps,
+                          int request_registered_at);
+
+}  // namespace faultstudy::env

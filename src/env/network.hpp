@@ -1,0 +1,49 @@
+// Simulated network: link speed, port ownership, interface presence, and an
+// opaque exhaustible kernel resource.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "env/clock.hpp"
+
+namespace faultstudy::env {
+
+enum class LinkState { kNormal, kSlow, kDown };
+
+class Network {
+ public:
+  LinkState link(Tick now) const noexcept;
+  void degrade_until(LinkState state, Tick until) noexcept;
+
+  /// The physical interface (the PCMCIA card of apache-edn-07).
+  bool card_present() const noexcept { return card_present_; }
+  void remove_card() noexcept { card_present_ = false; }
+  void insert_card() noexcept { card_present_ = true; }
+
+  /// Port binding. A port bound by one owner cannot be bound by another
+  /// until released.
+  bool bind_port(int port, const std::string& owner);
+  void release_port(int port, const std::string& owner);
+  std::size_t release_ports_of(const std::string& owner);
+  bool port_bound(int port) const;
+  std::string port_owner(int port) const;
+
+  /// The "unknown network resource" of apache-edn-06: an opaque kernel pool
+  /// that only a machine reboot replenishes.
+  std::size_t kernel_resource_available() const noexcept { return kernel_resource_; }
+  bool consume_kernel_resource(std::size_t n) noexcept;
+  void set_kernel_resource(std::size_t n) noexcept { kernel_resource_ = n; }
+
+  static constexpr Tick kNormalLatency = 1;
+  static constexpr Tick kSlowLatency = 3000;
+
+ private:
+  LinkState forced_ = LinkState::kNormal;
+  Tick forced_until_ = 0;
+  bool card_present_ = true;
+  std::unordered_map<int, std::string> ports_;
+  std::size_t kernel_resource_ = 1u << 20;
+};
+
+}  // namespace faultstudy::env

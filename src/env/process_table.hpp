@@ -1,0 +1,69 @@
+// Simulated kernel process table.
+//
+// Processes belong to an owner (an application id or the free-form "system")
+// and may be marked hung. The paper's kProcessTableFull faults arise when an
+// application's hung children consume every slot; generic recovery survives
+// them because recovery kills all processes associated with the application.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace faultstudy::env {
+
+using Pid = std::uint32_t;
+
+struct Process {
+  Pid pid = 0;
+  std::string owner;
+  bool hung = false;
+  /// Network ports this process holds (released when it dies).
+  std::vector<int> held_ports;
+};
+
+class ProcessTable {
+ public:
+  explicit ProcessTable(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return procs_.size(); }
+  std::size_t available() const noexcept { return capacity_ - procs_.size(); }
+  bool full() const noexcept { return procs_.size() >= capacity_; }
+
+  /// Forks a process for `owner`; nullopt when the table is full.
+  std::optional<Pid> spawn(const std::string& owner);
+
+  /// True if the pid existed.
+  bool kill(Pid pid);
+
+  /// Marks a process hung (it stops making progress but keeps its slot and
+  /// its ports).
+  bool mark_hung(Pid pid);
+
+  /// Kills every process owned by `owner`; returns how many died. This is
+  /// the recovery-system action "kill all processes associated with the
+  /// application".
+  std::size_t kill_owned_by(const std::string& owner);
+
+  std::size_t count_owned_by(const std::string& owner) const;
+  std::size_t count_hung_owned_by(const std::string& owner) const;
+
+  Process* find(Pid pid);
+  const Process* find(Pid pid) const;
+
+  /// Grows the table (dynamic kernel limits, Section 6.2 countermeasure).
+  void grow(std::size_t extra) noexcept { capacity_ += extra; }
+
+  /// All live pids owned by `owner`.
+  std::vector<Pid> owned_by(const std::string& owner) const;
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<Pid, Process> procs_;
+  Pid next_pid_ = 100;
+};
+
+}  // namespace faultstudy::env

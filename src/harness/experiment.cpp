@@ -1,0 +1,144 @@
+#include "harness/experiment.hpp"
+
+#include "core/rules.hpp"
+#include "util/rng.hpp"
+#include "recovery/app_specific.hpp"
+#include "recovery/process_pairs.hpp"
+#include "recovery/progressive.hpp"
+#include "recovery/rejuvenation.hpp"
+#include "recovery/restart.hpp"
+#include "recovery/rollback.hpp"
+
+namespace faultstudy::harness {
+
+TrialOutcome run_trial(const inject::InjectionPlan& plan,
+                       recovery::Mechanism& mechanism,
+                       const TrialConfig& config) {
+  TrialOutcome outcome;
+
+  inject::InjectionPlan p = plan;
+  p.env_config.seed = config.seed;
+  p.workload.seed = config.seed ^ 0xA0;
+
+  env::Environment environment(p.env_config);
+  auto app = inject::make_app(p.seed.app);
+  app->arm_fault(p.fault);
+  if (!app->start(environment)) {
+    outcome.first_failure = "application failed to start";
+    return outcome;
+  }
+  p.arm_environment(environment, *app);
+  mechanism.attach(*app, environment);
+
+  const apps::Workload workload = apps::make_workload(p.seed.app, p.workload);
+  const std::size_t total_items = workload.size() * config.cycles;
+
+  std::size_t i = 0;
+  std::size_t consecutive = 0;  // consecutive failures of the current item
+  while (i < total_items) {
+    apps::WorkItem item = workload.items[i % workload.size()];
+    if (consecutive > 0) mechanism.prepare_retry(item);
+
+    const apps::StepResult result = app->handle(item, environment);
+    if (!apps::is_failure(result)) {
+      mechanism.on_item_success(*app, environment);
+      consecutive = 0;
+      ++i;
+      continue;
+    }
+
+    ++outcome.failures;
+    outcome.failure_observed = true;
+    if (outcome.first_failure.empty()) outcome.first_failure = result.detail;
+
+    if (++consecutive > config.per_item_retries) return outcome;
+    if (outcome.recoveries >= config.recovery_budget) return outcome;
+
+    const recovery::RecoveryAction action =
+        mechanism.recover(*app, environment);
+    ++outcome.recoveries;
+    if (!mechanism.preserves_state()) outcome.state_preserved = false;
+    if (!action.recovered) {
+      outcome.first_failure += " (recovery failed)";
+      return outcome;
+    }
+    // Roll the cursor back to the restored checkpoint; those items are
+    // re-executed against the rolled-back state.
+    const std::size_t rewind = std::min(action.rewind_items, i);
+    outcome.items_reexecuted += rewind;
+    i -= rewind;
+  }
+
+  app->stop(environment);
+  outcome.survived = true;
+  return outcome;
+}
+
+std::vector<NamedMechanism> standard_mechanisms() {
+  return {
+      {"process-pairs",
+       [] { return std::make_unique<recovery::ProcessPairs>(); }},
+      {"rollback-retry",
+       [] { return std::make_unique<recovery::RollbackRetry>(); }},
+      {"progressive-retry",
+       [] { return std::make_unique<recovery::ProgressiveRetry>(); }},
+      {"cold-restart",
+       [] { return std::make_unique<recovery::ColdRestart>(); }},
+      {"rejuvenation",
+       [] { return std::make_unique<recovery::Rejuvenation>(); }},
+      {"app-specific",
+       [] { return std::make_unique<recovery::AppSpecific>(); }},
+  };
+}
+
+MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
+                        const std::vector<NamedMechanism>& mechanisms,
+                        const TrialConfig& config, int repeats) {
+  MatrixResult result;
+  result.fault_count = seeds.size();
+  if (repeats < 1) repeats = 1;
+
+  for (const auto& nm : mechanisms) {
+    MechanismReport report;
+    report.mechanism = nm.name;
+    {
+      auto probe = nm.make();
+      report.generic = probe->is_generic();
+    }
+
+    for (const auto& seed : seeds) {
+      const auto cls = static_cast<std::size_t>(corpus::seed_class(seed));
+      int survived_votes = 0;
+      int observed_votes = 0;
+      bool lost_state = false;
+
+      for (int r = 0; r < repeats; ++r) {
+        TrialConfig tc = config;
+        tc.seed = config.seed + static_cast<std::uint64_t>(r) * 7919 +
+                  util::fnv1a(seed.fault_id);
+        const auto plan = inject::plan_for(seed, tc.seed);
+        auto mechanism = nm.make();
+        const TrialOutcome outcome = run_trial(plan, *mechanism, tc);
+        if (outcome.failure_observed) {
+          ++observed_votes;
+          if (outcome.survived) ++survived_votes;
+          if (!outcome.state_preserved) lost_state = true;
+        }
+      }
+
+      if (observed_votes == 0) {
+        ++report.vacuous;
+        continue;
+      }
+      ++report.total[cls];
+      if (survived_votes * 2 > observed_votes) {
+        ++report.survived[cls];
+        if (lost_state) ++report.state_losses;
+      }
+    }
+    result.reports.push_back(std::move(report));
+  }
+  return result;
+}
+
+}  // namespace faultstudy::harness

@@ -1,0 +1,104 @@
+// The end-to-end recovery experiment (Section 8's proposed future work):
+// run every study fault against every recovery mechanism and measure
+// whether the application survives.
+//
+// Trial protocol. The application runs `cycles` passes of its fixed
+// workload. Items must be executed in order; when one fails, the mechanism
+// recovers the application and the item is re-executed ("we do not assume a
+// user will generously avoid the fault trigger"). A fault survives when the
+// full workload completes within the retry/recovery budgets; it defeats the
+// mechanism when one item keeps failing past the per-item cap, recovery
+// itself fails, or the budget is exhausted.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "inject/specimen.hpp"
+#include "recovery/mechanism.hpp"
+
+namespace faultstudy::harness {
+
+struct TrialConfig {
+  std::size_t cycles = 3;            ///< workload passes per trial
+  std::size_t per_item_retries = 8;  ///< consecutive failures of one item
+  std::size_t recovery_budget = 40;  ///< total recoveries per trial
+  std::uint64_t seed = 99;
+};
+
+struct TrialOutcome {
+  bool survived = false;
+  bool failure_observed = false;
+  std::size_t failures = 0;
+  std::size_t recoveries = 0;
+  /// Work re-executed because recoveries rolled back past completed items
+  /// (the time-redundancy cost of coarse checkpoint intervals).
+  std::size_t items_reexecuted = 0;
+  /// True when application state survived every recovery the trial used
+  /// (always true for state-preserving mechanisms; false once a lossy
+  /// restart actually ran).
+  bool state_preserved = true;
+  std::string first_failure;
+};
+
+/// Runs one fault under one mechanism.
+TrialOutcome run_trial(const inject::InjectionPlan& plan,
+                       recovery::Mechanism& mechanism,
+                       const TrialConfig& config = {});
+
+/// Mechanism factory, so the matrix can instantiate a fresh mechanism per
+/// trial (mechanisms hold per-trial checkpoints).
+using MechanismFactory = std::function<std::unique_ptr<recovery::Mechanism>()>;
+
+struct NamedMechanism {
+  std::string name;
+  MechanismFactory make;
+};
+
+/// The study's mechanism roster: process pairs, rollback-retry, progressive
+/// retry, cold restart, rejuvenation, app-specific.
+std::vector<NamedMechanism> standard_mechanisms();
+
+/// Survival results for one mechanism over a fault set.
+struct MechanismReport {
+  std::string mechanism;
+  bool generic = true;
+  /// Per fault class: [survived, total] over faults whose trial observed a
+  /// failure.
+  std::array<std::size_t, 3> survived{};
+  std::array<std::size_t, 3> total{};
+  std::size_t vacuous = 0;  ///< trials where the fault never triggered
+  std::size_t state_losses = 0;
+
+  double survival_rate(core::FaultClass c) const noexcept {
+    const auto i = static_cast<std::size_t>(c);
+    return total[i] == 0 ? 0.0
+                         : static_cast<double>(survived[i]) /
+                               static_cast<double>(total[i]);
+  }
+  std::size_t survived_all() const noexcept {
+    return survived[0] + survived[1] + survived[2];
+  }
+  std::size_t total_all() const noexcept {
+    return total[0] + total[1] + total[2];
+  }
+};
+
+struct MatrixResult {
+  std::vector<MechanismReport> reports;
+  std::size_t fault_count = 0;
+};
+
+/// Runs the full fault x mechanism matrix over the given seeds. `repeats`
+/// runs each (fault, mechanism) cell several times with different seeds and
+/// counts the cell as survived when a majority of repeats survive (races
+/// are probabilistic).
+MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
+                        const std::vector<NamedMechanism>& mechanisms,
+                        const TrialConfig& config = {}, int repeats = 3);
+
+}  // namespace faultstudy::harness

@@ -1,0 +1,21 @@
+#include "inject/specimen.hpp"
+
+namespace faultstudy::inject {
+
+std::unique_ptr<apps::SimApp> make_app(core::AppId app) {
+  switch (app) {
+    case core::AppId::kApache:
+      return std::make_unique<apps::WebServer>();
+    case core::AppId::kMysql:
+      return std::make_unique<apps::Database>();
+    case core::AppId::kGnome:
+      return std::make_unique<apps::Desktop>();
+  }
+  return nullptr;
+}
+
+std::string child_owner(const apps::SimApp& app) {
+  return std::string(app.name()) + "-child";
+}
+
+}  // namespace faultstudy::inject

@@ -1,0 +1,91 @@
+#include "mining/dedup.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "text/minhash.hpp"
+#include "text/stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/tfidf.hpp"
+#include "text/tokenizer.hpp"
+
+namespace faultstudy::mining {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+void UnionFind::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+}
+
+std::vector<std::vector<std::size_t>> UnionFind::groups() {
+  std::map<std::size_t, std::vector<std::size_t>> by_root;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    by_root[find(i)].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(by_root.size());
+  // std::map iterates roots ascending, and find(i) for the smallest member
+  // of a group is visited in index order, so groups come out ordered by
+  // smallest member after a sort by front().
+  for (auto& [root, members] : by_root) {
+    (void)root;
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> cluster_documents(
+    const std::vector<DedupDoc>& docs, const DedupParams& params) {
+  const std::size_t n = docs.size();
+  UnionFind uf(n);
+  if (n < 2) return uf.groups();
+
+  // Tokenize once.
+  std::vector<std::vector<std::string>> tokens(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tokens[i] =
+        text::stem_all(text::remove_stopwords(text::tokenize(docs[i].text)));
+  }
+
+  // TF-IDF model over the documents being clustered.
+  text::TfIdfModel model;
+  model.fit(tokens);
+  std::vector<text::DocVector> vectors(n);
+  for (std::size_t i = 0; i < n; ++i) vectors[i] = model.transform(tokens[i]);
+
+  // MinHash/LSH candidates.
+  text::MinHashParams mh;
+  mh.num_hashes = params.num_hashes;
+  mh.band_size = params.band_size;
+  mh.shingle_size = params.shingle_size;
+  text::MinHasher hasher(mh);
+  std::vector<text::Signature> sigs(n);
+  for (std::size_t i = 0; i < n; ++i) sigs[i] = hasher.signature(tokens[i]);
+
+  for (const auto& [i, j] : text::lsh_candidates(sigs, mh)) {
+    if (text::cosine(vectors[i], vectors[j]) >= params.confirm_threshold) {
+      uf.unite(i, j);
+    }
+  }
+  return uf.groups();
+}
+
+}  // namespace faultstudy::mining

@@ -1,0 +1,53 @@
+// Duplicate-report clustering.
+//
+// The paper counts *unique* bugs: 5220 Apache reports collapse to 50. This
+// stage clusters reports that describe the same underlying fault using
+// MinHash/LSH to propose candidate pairs and TF-IDF cosine similarity to
+// confirm them, then unions confirmed pairs into clusters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faultstudy::mining {
+
+/// One document to be clustered; `text` is whatever the caller considers
+/// identity-bearing (title + how-to-repeat + body).
+struct DedupDoc {
+  std::uint64_t id = 0;
+  std::string text;
+};
+
+struct DedupParams {
+  /// Cosine similarity at or above which a candidate pair is confirmed.
+  double confirm_threshold = 0.55;
+  /// MinHash signature length and LSH band size. 64 hashes in bands of 2
+  /// catch pairs down to ~0.3 Jaccard with probability >0.95; the cosine
+  /// confirmation stage removes the false positives this admits.
+  std::uint32_t num_hashes = 64;
+  std::uint32_t band_size = 2;
+  std::uint32_t shingle_size = 3;
+};
+
+/// Clusters of indices into the input vector. Every document appears in
+/// exactly one cluster; singletons are clusters of size one. Clusters are
+/// ordered by their smallest member index, members ascending.
+std::vector<std::vector<std::size_t>> cluster_documents(
+    const std::vector<DedupDoc>& docs, const DedupParams& params = {});
+
+/// Union-find over [0, n); exposed for tests and reused by the pipeline.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  std::size_t find(std::size_t x);
+  void unite(std::size_t a, std::size_t b);
+  /// Groups ordered by smallest member.
+  std::vector<std::vector<std::size_t>> groups();
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint32_t> rank_;
+};
+
+}  // namespace faultstudy::mining

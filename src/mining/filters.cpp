@@ -1,0 +1,41 @@
+#include "mining/filters.hpp"
+
+namespace faultstudy::mining {
+
+bool is_high_impact(const corpus::BugReport& report) noexcept {
+  return report.severity == corpus::Severity::kSevere ||
+         report.severity == corpus::Severity::kCritical;
+}
+
+bool is_production(const corpus::BugReport& report) noexcept {
+  return report.track == corpus::VersionTrack::kProduction;
+}
+
+bool is_runtime_failure(const corpus::BugReport& report) noexcept {
+  return report.kind == corpus::ReportKind::kRuntimeFailure;
+}
+
+bool passes_study_criteria(const corpus::BugReport& report) noexcept {
+  return is_runtime_failure(report) && is_production(report) &&
+         is_high_impact(report);
+}
+
+std::vector<corpus::BugReport> study_candidates(
+    const corpus::BugTracker& tracker, FilterFunnel* funnel) {
+  FilterFunnel f;
+  f.total = tracker.size();
+  std::vector<corpus::BugReport> out;
+  for (const corpus::BugReport& r : tracker.reports()) {
+    if (!is_runtime_failure(r)) continue;
+    ++f.runtime;
+    if (!is_production(r)) continue;
+    ++f.production;
+    if (!is_high_impact(r)) continue;
+    ++f.severe;
+    out.push_back(r);
+  }
+  if (funnel != nullptr) *funnel = f;
+  return out;
+}
+
+}  // namespace faultstudy::mining

@@ -1,0 +1,40 @@
+// Selection filters implementing the paper's study criteria (Section 4):
+// "we consider bugs on production versions of the software that were
+// categorized as severe or critical", restricted to high-impact runtime
+// failures (crash, error return, security, hang) and excluding faults
+// "encountered during compilation and installation".
+#pragma once
+
+#include <vector>
+
+#include "corpus/report.hpp"
+#include "corpus/tracker.hpp"
+
+namespace faultstudy::mining {
+
+/// Severity severe or critical.
+bool is_high_impact(const corpus::BugReport& report) noexcept;
+
+/// Reported against a production release.
+bool is_production(const corpus::BugReport& report) noexcept;
+
+/// A failure of running software (not build/install/docs/feature/question).
+bool is_runtime_failure(const corpus::BugReport& report) noexcept;
+
+/// All three criteria.
+bool passes_study_criteria(const corpus::BugReport& report) noexcept;
+
+/// Funnel counts recorded as each filter is applied, for reporting the
+/// "5220 reports -> 50 bugs" style narrowing.
+struct FilterFunnel {
+  std::size_t total = 0;
+  std::size_t runtime = 0;     ///< after dropping non-runtime kinds
+  std::size_t production = 0;  ///< after dropping non-production versions
+  std::size_t severe = 0;      ///< after dropping below-severe reports
+};
+
+/// Applies the criteria in order, returning survivors and the funnel.
+std::vector<corpus::BugReport> study_candidates(const corpus::BugTracker& tracker,
+                                                FilterFunnel* funnel = nullptr);
+
+}  // namespace faultstudy::mining

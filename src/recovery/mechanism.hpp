@@ -1,0 +1,65 @@
+// Recovery-mechanism interface.
+//
+// A mechanism is attached to a running (app, environment) pair; on each
+// failure the harness asks it to recover. The two axes the paper's taxonomy
+// turns on are explicit in the interface:
+//
+//   * is_generic(): the mechanism uses no application-specific knowledge —
+//     it must preserve ALL application state ("there is no
+//     application-specific code to reconstruct missing state");
+//   * preserves_state(): whether the application's accumulated state
+//     survives recovery. Generic state-preserving mechanisms restore leaks
+//     along with everything else; a lossy restart sheds them but also sheds
+//     legitimate state (counted separately by the harness).
+#pragma once
+
+#include <string_view>
+
+#include "apps/app.hpp"
+#include "env/environment.hpp"
+
+namespace faultstudy::recovery {
+
+struct RecoveryAction {
+  bool recovered = false;  ///< the app is running again
+  /// How many workload items the harness must re-execute because the
+  /// restored checkpoint predates them (rollback to an older checkpoint).
+  std::size_t rewind_items = 0;
+};
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// No application-specific knowledge used anywhere in the mechanism.
+  virtual bool is_generic() const noexcept = 0;
+
+  /// Application state (request counts, tables, sessions) survives recovery.
+  virtual bool preserves_state() const noexcept = 0;
+
+  /// Called once when the app starts: take the initial checkpoint, set the
+  /// scheduler replay bias this mechanism induces.
+  virtual void attach(apps::SimApp& app, env::Environment& e) = 0;
+
+  /// Called after every successfully handled item (checkpoint cadence).
+  virtual void on_item_success(apps::SimApp& app, env::Environment& e) = 0;
+
+  /// Called when the app failed. Must leave the app running (and report
+  /// true) or report false (recovery itself failed).
+  virtual RecoveryAction recover(apps::SimApp& app, env::Environment& e) = 0;
+
+  /// May adjust the item about to be retried. Only application-specific
+  /// mechanisms do anything here (e.g. an error-checking wrapper rejects
+  /// the killer input instead of crashing on it).
+  virtual void prepare_retry(apps::WorkItem& item) { (void)item; }
+};
+
+/// Kills every process associated with the application — workers and
+/// runaway children alike — and releases their ports. All mechanisms
+/// perform this sweep before reviving the app; it is *the* environmental
+/// change that makes process-table and port-holding faults transient.
+void sweep_application(apps::SimApp& app, env::Environment& e);
+
+}  // namespace faultstudy::recovery

@@ -1,0 +1,42 @@
+// The environment-perturbation model: what changes when recovery runs.
+//
+// Section 3's EDN/EDT split is a prediction about exactly this. The model
+// documents, per mechanism, which environmental facts recovery changes
+// (processes killed, ports freed, time passing while DNS heals and entropy
+// refills) and which it cannot (disk contents, other programs' descriptors,
+// the hostname, missing hardware). Unit tests pin every Section 5 bullet to
+// this model.
+#pragma once
+
+#include "env/clock.hpp"
+
+namespace faultstudy::recovery {
+
+/// Virtual-time cost of one recovery pass, per mechanism. The values encode
+/// the mechanisms' relative latencies (a process-pair failover is fast; a
+/// cold restart replays initialization); transient conditions heal while
+/// this time passes.
+struct RecoveryCosts {
+  static constexpr env::Tick kProcessPairs = 60;
+  static constexpr env::Tick kRollbackRetry = 80;
+  static constexpr env::Tick kProgressiveRetry = 80;
+  static constexpr env::Tick kColdRestart = 250;
+  static constexpr env::Tick kRejuvenation = 150;
+  static constexpr env::Tick kAppSpecific = 50;
+};
+
+/// Scheduler replay bias per mechanism: the probability that a retry
+/// re-encounters the interleaving that triggered a race. Deterministic
+/// rollback-replay tends to reproduce the schedule; a process-pair backup
+/// on different hardware rarely does; progressive retry reorders events
+/// specifically to avoid it [Wang93].
+struct ReplayBias {
+  static constexpr double kProcessPairs = 0.05;
+  static constexpr double kRollbackRetry = 0.30;
+  static constexpr double kProgressiveRetry = 0.0;
+  static constexpr double kColdRestart = 0.0;
+  static constexpr double kRejuvenation = 0.0;
+  static constexpr double kAppSpecific = 0.0;
+};
+
+}  // namespace faultstudy::recovery

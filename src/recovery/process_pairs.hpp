@@ -1,0 +1,26 @@
+// Process pairs [Gray86]: a backup process shadows the primary, its state
+// synchronized after every operation. On failure the backup — holding the
+// complete application state — takes over. Purely generic: no application
+// knowledge, full state preservation. Survives exactly the faults whose
+// triggering condition changed by the time the backup retries.
+#pragma once
+
+#include "recovery/mechanism.hpp"
+
+namespace faultstudy::recovery {
+
+class ProcessPairs final : public Mechanism {
+ public:
+  std::string_view name() const noexcept override { return "process-pairs"; }
+  bool is_generic() const noexcept override { return true; }
+  bool preserves_state() const noexcept override { return true; }
+
+  void attach(apps::SimApp& app, env::Environment& e) override;
+  void on_item_success(apps::SimApp& app, env::Environment& e) override;
+  RecoveryAction recover(apps::SimApp& app, env::Environment& e) override;
+
+ private:
+  apps::SnapshotPtr backup_;
+};
+
+}  // namespace faultstudy::recovery

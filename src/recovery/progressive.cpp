@@ -1,0 +1,15 @@
+#include "recovery/progressive.hpp"
+
+#include "recovery/perturbation.hpp"
+
+namespace faultstudy::recovery {
+
+double ProgressiveRetry::replay_bias() const noexcept {
+  return ReplayBias::kProgressiveRetry;
+}
+
+env::Tick ProgressiveRetry::recovery_cost() const noexcept {
+  return RecoveryCosts::kProgressiveRetry;
+}
+
+}  // namespace faultstudy::recovery

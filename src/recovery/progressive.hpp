@@ -1,0 +1,29 @@
+// Progressive retry [Wang93]: rollback-retry that deliberately reorders
+// events (message receives, thread wakeups) on each retry so the re-executed
+// operation sees a *different* environment. In the model this removes the
+// rollback replay bias entirely — every retry draws a fresh interleaving.
+// Like its base, it is generic and state-preserving: reordering does not
+// transform environment-independent faults into recoverable ones, it only
+// increases the chance an environment-dependent fault sees a changed
+// environment (Section 7).
+#pragma once
+
+#include "recovery/rollback.hpp"
+
+namespace faultstudy::recovery {
+
+class ProgressiveRetry final : public RollbackRetry {
+ public:
+  explicit ProgressiveRetry(std::size_t checkpoint_interval = 5)
+      : RollbackRetry(checkpoint_interval) {}
+
+  std::string_view name() const noexcept override {
+    return "progressive-retry";
+  }
+
+ protected:
+  double replay_bias() const noexcept override;
+  env::Tick recovery_cost() const noexcept override;
+};
+
+}  // namespace faultstudy::recovery

@@ -1,0 +1,58 @@
+// Software rejuvenation [Huang95]: invoke the application's own
+// re-initialization code — Apache's SIGHUP handling is the study's example.
+// Application-specific by definition: the cleanup (kill children, close
+// leaked descriptors, rotate logs, prune caches) is knowledge only the
+// application has. Rejuvenation is normally *proactive*; used reactively
+// here so it is comparable to the other mechanisms.
+#pragma once
+
+#include "recovery/mechanism.hpp"
+
+namespace faultstudy::recovery {
+
+class Rejuvenation final : public Mechanism {
+ public:
+  std::string_view name() const noexcept override { return "rejuvenation"; }
+  bool is_generic() const noexcept override { return false; }
+  /// Rejuvenation keeps long-lived state (the session continues) while
+  /// shedding accumulated bloat.
+  bool preserves_state() const noexcept override { return true; }
+
+  void attach(apps::SimApp& app, env::Environment& e) override;
+  void on_item_success(apps::SimApp& app, env::Environment& e) override {
+    (void)app;
+    (void)e;
+  }
+  RecoveryAction recover(apps::SimApp& app, env::Environment& e) override;
+};
+
+/// Proactive rejuvenation on a schedule — [Huang95]'s actual proposal:
+/// "software rejuvenation seeks to PREVENT failures by invoking this
+/// application-specific recovery code before the program crashes". Every
+/// `interval` successful operations the application is rejuvenated, paying
+/// the rejuvenation cost up front; leaks never reach their limit when the
+/// interval is shorter than the leak horizon.
+class ScheduledRejuvenation final : public Mechanism {
+ public:
+  explicit ScheduledRejuvenation(std::size_t interval)
+      : interval_(interval == 0 ? 1 : interval) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  bool is_generic() const noexcept override { return false; }
+  bool preserves_state() const noexcept override { return true; }
+
+  void attach(apps::SimApp& app, env::Environment& e) override;
+  void on_item_success(apps::SimApp& app, env::Environment& e) override;
+  RecoveryAction recover(apps::SimApp& app, env::Environment& e) override;
+
+  std::size_t interval() const noexcept { return interval_; }
+  std::size_t proactive_passes() const noexcept { return proactive_; }
+
+ private:
+  std::size_t interval_;
+  std::size_t since_ = 0;
+  std::size_t proactive_ = 0;
+  std::string name_ = "scheduled-rejuvenation";
+};
+
+}  // namespace faultstudy::recovery

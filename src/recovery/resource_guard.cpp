@@ -1,0 +1,84 @@
+#include "recovery/resource_guard.hpp"
+
+#include <algorithm>
+
+namespace faultstudy::recovery {
+
+void DynamicFdGrowth::on_failure(apps::SimApp& app, env::Environment& e) {
+  (void)app;
+  // Grow only when the table is actually tight — a failure with plenty of
+  // descriptors free is not a descriptor problem.
+  if (e.fds().available() < step_ && e.fds().capacity() < max_total_) {
+    const std::size_t room = max_total_ - e.fds().capacity();
+    e.fds().grow(std::min(step_, room));
+  }
+}
+
+void DynamicDiskGrowth::on_failure(apps::SimApp& app, env::Environment& e) {
+  (void)app;
+  if (e.disk().free_space() < step_ && e.disk().capacity() < max_total_) {
+    const std::uint64_t room = max_total_ - e.disk().capacity();
+    e.disk().grow(std::min(step_, room));
+  }
+  // Large-file support: double the per-file limit while it is the binding
+  // constraint (bounded by the volume size).
+  e.disk().raise_file_size_limit(
+      std::min<std::uint64_t>(e.disk().max_file_size() * 2, max_total_));
+}
+
+void FdGarbageCollector::on_failure(apps::SimApp& app, env::Environment& e) {
+  (void)app;
+  (void)e;
+  // Collecting before a state-preserving restore is futile: the restore
+  // re-opens every descriptor the checkpoint recorded. See on_recovered.
+}
+
+void FdGarbageCollector::on_recovered(apps::SimApp& app,
+                                      env::Environment& e) {
+  app.reclaim_idle_descriptors(e, reclaim_fraction_);
+}
+
+GuardedMechanism::GuardedMechanism(
+    std::unique_ptr<Mechanism> inner,
+    std::vector<std::unique_ptr<ResourceGuard>> guards)
+    : inner_(std::move(inner)), guards_(std::move(guards)) {
+  name_ = std::string(inner_->name()) + "+guards";
+}
+
+void GuardedMechanism::attach(apps::SimApp& app, env::Environment& e) {
+  inner_->attach(app, e);
+}
+
+void GuardedMechanism::on_item_success(apps::SimApp& app,
+                                       env::Environment& e) {
+  inner_->on_item_success(app, e);
+}
+
+RecoveryAction GuardedMechanism::recover(apps::SimApp& app,
+                                         env::Environment& e) {
+  for (auto& guard : guards_) guard->on_failure(app, e);
+  const RecoveryAction action = inner_->recover(app, e);
+  if (action.recovered) {
+    for (auto& guard : guards_) guard->on_recovered(app, e);
+  }
+  return action;
+}
+
+void GuardedMechanism::prepare_retry(apps::WorkItem& item) {
+  inner_->prepare_retry(item);
+}
+
+std::unique_ptr<Mechanism> with_standard_guards(
+    std::unique_ptr<Mechanism> inner) {
+  std::vector<std::unique_ptr<ResourceGuard>> guards;
+  guards.push_back(std::make_unique<DynamicFdGrowth>(
+      /*step=*/32, /*max_total=*/4096));
+  guards.push_back(std::make_unique<DynamicDiskGrowth>(
+      /*step=*/1ull << 20, /*max_total=*/16ull << 30));
+  guards.push_back(std::make_unique<FdGarbageCollector>(
+      /*reclaim_fraction=*/0.8));
+  return std::make_unique<GuardedMechanism>(std::move(inner),
+                                            std::move(guards));
+}
+
+}  // namespace faultstudy::recovery

@@ -1,0 +1,120 @@
+// Resource-exhaustion countermeasures (Section 6.2).
+//
+// The paper sketches two generic approaches to the resource-exhaustion
+// faults that dominate the EDN class: (1) detect the shortage and
+// automatically increase the resource, and (2) automatically decrease what
+// the application uses (garbage-collect unused descriptors, multiplex
+// "virtual sockets"). Both are environment/OS-level — no application
+// knowledge — so layering them under a generic mechanism keeps the stack
+// generic while converting specific EDN triggers into transient ones,
+// exactly the reclassification the paper anticipates.
+//
+// A ResourceGuard watches recovery attempts; a GuardedMechanism decorates
+// any Mechanism with a set of guards that run before each recovery.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "recovery/mechanism.hpp"
+
+namespace faultstudy::recovery {
+
+class ResourceGuard {
+ public:
+  virtual ~ResourceGuard() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Invoked when the application failed, before the underlying mechanism
+  /// recovers. Growth guards act here so that a state-preserving restore
+  /// (which re-materializes the checkpointed footprint) has room to
+  /// succeed.
+  virtual void on_failure(apps::SimApp& app, env::Environment& e) = 0;
+  /// Invoked after the underlying mechanism recovered the application.
+  /// Reclamation guards act here: collecting idle descriptors before the
+  /// restore would be futile, because a truly generic restore faithfully
+  /// re-opens everything the checkpoint recorded.
+  virtual void on_recovered(apps::SimApp& app, env::Environment& e) {
+    (void)app;
+    (void)e;
+  }
+};
+
+/// Countermeasure 1a: grow the descriptor table when it is nearly full,
+/// up to `max_total` (growth cannot be unbounded — the kernel has limits).
+class DynamicFdGrowth final : public ResourceGuard {
+ public:
+  DynamicFdGrowth(std::size_t step, std::size_t max_total)
+      : step_(step), max_total_(max_total) {}
+  std::string_view name() const noexcept override { return "fd-growth"; }
+  void on_failure(apps::SimApp& app, env::Environment& e) override;
+
+ private:
+  std::size_t step_;
+  std::size_t max_total_;
+};
+
+/// Countermeasure 1b: grow the file system / raise file size limits.
+class DynamicDiskGrowth final : public ResourceGuard {
+ public:
+  DynamicDiskGrowth(std::uint64_t step, std::uint64_t max_total)
+      : step_(step), max_total_(max_total) {}
+  std::string_view name() const noexcept override { return "disk-growth"; }
+  void on_failure(apps::SimApp& app, env::Environment& e) override;
+
+ private:
+  std::uint64_t step_;
+  std::uint64_t max_total_;
+};
+
+/// Countermeasure 2: descriptor garbage collection — "the system may
+/// monitor which file descriptors are used and automatically close the
+/// unused ones". In the model, descriptors an application holds beyond its
+/// configured baseline and has not used recently are exactly the leaked
+/// ones; the collector reclaims a fraction of them.
+class FdGarbageCollector final : public ResourceGuard {
+ public:
+  /// `baseline` descriptors are presumed live; everything above is a
+  /// candidate. `reclaim_fraction` in (0,1] of candidates is collected per
+  /// pass (monitoring is imperfect).
+  /// `reclaim_fraction` in (0,1] of the idle candidates is collected per
+  /// pass (monitoring is imperfect).
+  explicit FdGarbageCollector(double reclaim_fraction)
+      : reclaim_fraction_(reclaim_fraction) {}
+  std::string_view name() const noexcept override { return "fd-gc"; }
+  void on_failure(apps::SimApp& app, env::Environment& e) override;
+  void on_recovered(apps::SimApp& app, env::Environment& e) override;
+
+ private:
+  double reclaim_fraction_;
+};
+
+/// Decorates a mechanism with guards. Generic iff the inner mechanism is —
+/// the guards themselves use no application knowledge.
+class GuardedMechanism final : public Mechanism {
+ public:
+  GuardedMechanism(std::unique_ptr<Mechanism> inner,
+                   std::vector<std::unique_ptr<ResourceGuard>> guards);
+
+  std::string_view name() const noexcept override { return name_; }
+  bool is_generic() const noexcept override { return inner_->is_generic(); }
+  bool preserves_state() const noexcept override {
+    return inner_->preserves_state();
+  }
+
+  void attach(apps::SimApp& app, env::Environment& e) override;
+  void on_item_success(apps::SimApp& app, env::Environment& e) override;
+  RecoveryAction recover(apps::SimApp& app, env::Environment& e) override;
+  void prepare_retry(apps::WorkItem& item) override;
+
+ private:
+  std::unique_ptr<Mechanism> inner_;
+  std::vector<std::unique_ptr<ResourceGuard>> guards_;
+  std::string name_;
+};
+
+/// Convenience: wraps `inner` with the full Section 6.2 guard set sized for
+/// the study's applications.
+std::unique_ptr<Mechanism> with_standard_guards(
+    std::unique_ptr<Mechanism> inner);
+
+}  // namespace faultstudy::recovery

@@ -1,0 +1,30 @@
+// Cold restart: stop the failed application and start it afresh.
+//
+// NOT truly generic in the paper's sense — it does not preserve application
+// state, so accumulated work (sessions, counters, in-memory tables) is
+// lost. Its interest is as an ablation point: shedding state also sheds
+// leaked resources, so a lossy restart "survives" leak faults that a
+// state-preserving generic mechanism cannot, and re-reading the environment
+// at startup fixes cached-environment faults like a hostname change. The
+// harness reports its state loss alongside its survival.
+#pragma once
+
+#include "recovery/mechanism.hpp"
+
+namespace faultstudy::recovery {
+
+class ColdRestart final : public Mechanism {
+ public:
+  std::string_view name() const noexcept override { return "cold-restart"; }
+  bool is_generic() const noexcept override { return true; }
+  bool preserves_state() const noexcept override { return false; }
+
+  void attach(apps::SimApp& app, env::Environment& e) override;
+  void on_item_success(apps::SimApp& app, env::Environment& e) override {
+    (void)app;
+    (void)e;
+  }
+  RecoveryAction recover(apps::SimApp& app, env::Environment& e) override;
+};
+
+}  // namespace faultstudy::recovery

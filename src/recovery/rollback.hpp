@@ -1,0 +1,39 @@
+// Checkpoint/rollback-retry [Elnozahy99, Huang93]: the application state is
+// checkpointed every `interval` operations; on failure, roll back to the
+// last checkpoint and re-execute from there. Purely generic and
+// state-preserving. Deterministic replay after rollback tends to reproduce
+// the pre-failure schedule (the replay bias), which is the weakness
+// progressive retry addresses.
+#pragma once
+
+#include "recovery/mechanism.hpp"
+
+namespace faultstudy::recovery {
+
+class RollbackRetry : public Mechanism {
+ public:
+  explicit RollbackRetry(std::size_t checkpoint_interval = 5)
+      : interval_(checkpoint_interval == 0 ? 1 : checkpoint_interval) {}
+
+  std::string_view name() const noexcept override { return "rollback-retry"; }
+  bool is_generic() const noexcept override { return true; }
+  bool preserves_state() const noexcept override { return true; }
+
+  void attach(apps::SimApp& app, env::Environment& e) override;
+  void on_item_success(apps::SimApp& app, env::Environment& e) override;
+  RecoveryAction recover(apps::SimApp& app, env::Environment& e) override;
+
+  std::size_t checkpoint_interval() const noexcept { return interval_; }
+
+ protected:
+  /// Scheduler bias this mechanism induces; progressive retry overrides.
+  virtual double replay_bias() const noexcept;
+  virtual env::Tick recovery_cost() const noexcept;
+
+ private:
+  std::size_t interval_;
+  std::size_t since_checkpoint_ = 0;
+  apps::SnapshotPtr checkpoint_;
+};
+
+}  // namespace faultstudy::recovery

@@ -1,0 +1,51 @@
+// Robustness wrappers (Section 6.1, after Ballista [Kropp98]).
+//
+// "Tools like Ballista test functions for boundary conditions and place
+// wrapper code around them to prevent failure." A wrapper is only as good
+// as the boundary testing that generated it: `coverage` is the fraction of
+// killer inputs the testing campaign found and wrapped. Whether THIS
+// fault's killer input is covered is decided deterministically from the
+// per-fault salt, so a sweep over the fault population sees a `coverage`
+// fraction of EI faults neutralized.
+//
+// The wrapper handles only input-triggered (environment-independent)
+// faults; it composes with an inner mechanism that does the actual
+// recovery for everything else.
+#pragma once
+
+#include <memory>
+
+#include "recovery/mechanism.hpp"
+
+namespace faultstudy::recovery {
+
+class WrappedMechanism final : public Mechanism {
+ public:
+  /// `salt` identifies the fault under test (e.g. fnv1a of its fault id);
+  /// the wrapper covers this fault's killer input iff salt lands in the
+  /// covered fraction.
+  WrappedMechanism(std::unique_ptr<Mechanism> inner, double coverage,
+                   std::uint64_t salt);
+
+  std::string_view name() const noexcept override { return name_; }
+  /// Wrapper generation is mechanical (automated boundary testing), but
+  /// the wrappers themselves are application-specific error checks.
+  bool is_generic() const noexcept override { return false; }
+  bool preserves_state() const noexcept override {
+    return inner_->preserves_state();
+  }
+
+  void attach(apps::SimApp& app, env::Environment& e) override;
+  void on_item_success(apps::SimApp& app, env::Environment& e) override;
+  RecoveryAction recover(apps::SimApp& app, env::Environment& e) override;
+  void prepare_retry(apps::WorkItem& item) override;
+
+  bool covers_this_fault() const noexcept { return covered_; }
+
+ private:
+  std::unique_ptr<Mechanism> inner_;
+  bool covered_;
+  std::string name_;
+};
+
+}  // namespace faultstudy::recovery

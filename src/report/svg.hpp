@@ -1,0 +1,29 @@
+// SVG rendering of the study's figures: stacked per-bucket bars, one file
+// per figure, no external dependencies. The output opens in any browser,
+// which is how downstream users will actually look at Figures 1-3.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "stats/series.hpp"
+
+namespace faultstudy::report {
+
+struct SvgOptions {
+  int width = 640;
+  int height = 360;
+  int bar_gap = 8;
+  /// Class colors: EI, EDN, EDT.
+  std::string colors[3] = {"#4878a8", "#e8b04a", "#c85a54"};
+  bool show_legend = true;
+};
+
+/// Renders a vertical stacked-bar chart of the series.
+std::string render_svg(std::span<const stats::SeriesPoint> series,
+                       std::string_view title, const SvgOptions& options = {});
+
+/// Escapes XML-special characters in text content.
+std::string xml_escape(std::string_view text);
+
+}  // namespace faultstudy::report

@@ -1,0 +1,83 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace faultstudy::report {
+
+std::string render_class_table(const core::ClassCounts& counts,
+                               std::string_view caption) {
+  std::string out;
+  out += "| Class                              | # Faults |\n";
+  out += "|------------------------------------|----------|\n";
+  for (core::FaultClass c : core::kAllFaultClasses) {
+    out += "| " + util::pad_right(core::to_string(c), 34) + " | " +
+           util::pad_left(std::to_string(counts[c]), 8) + " |\n";
+  }
+  if (!caption.empty()) {
+    out += "\n";
+    out += caption;
+    out += "\n";
+  }
+  return out;
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool numeric_like(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '%' &&
+        c != '-' && c != '/' && c != '+') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t j = 0; j < header_.size(); ++j) {
+    widths[j] = header_[j].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (std::size_t j = 0; j < header_.size(); ++j) {
+      const std::string& cell = j < row.size() ? row[j] : header_[j];
+      out += ' ';
+      out += numeric_like(cell) ? util::pad_left(cell, widths[j])
+                                : util::pad_right(cell, widths[j]);
+      out += " |";
+    }
+    out += '\n';
+  };
+
+  emit_row(header_);
+  out += "|";
+  for (std::size_t j = 0; j < header_.size(); ++j) {
+    out += std::string(widths[j] + 2, '-');
+    out += "|";
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace faultstudy::report

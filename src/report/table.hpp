@@ -1,0 +1,41 @@
+// Paper-style table rendering.
+//
+// render_class_table reproduces the exact layout of Tables 1-3; the generic
+// AsciiTable handles the funnel, matrix, and ablation tables the benches
+// print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+
+namespace faultstudy::report {
+
+/// Renders the paper's per-application classification table:
+///
+///   | Class                              | # Faults |
+///   |------------------------------------|----------|
+///   | environment-independent            |       36 |
+///   ...
+std::string render_class_table(const core::ClassCounts& counts,
+                               std::string_view caption);
+
+/// General fixed-width table with a header row.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Right-aligns numeric-looking cells, left-aligns the rest.
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace faultstudy::report

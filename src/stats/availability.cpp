@@ -1,0 +1,41 @@
+#include "stats/availability.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace faultstudy::stats {
+
+AvailabilityResult estimate_availability(const SurvivalProfile& profile,
+                                         const AvailabilityParams& params) {
+  AvailabilityResult r;
+  const double ops_per_day = params.ops_per_second * 86400.0;
+
+  double masked_per_day = 0.0;
+  double unmasked_per_day = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const double encounters_per_day =
+        params.faults_per_million_ops[c] * ops_per_day / 1e6;
+    const double s = profile.survival[c];
+    masked_per_day += encounters_per_day * s;
+    unmasked_per_day += encounters_per_day * (1.0 - s);
+  }
+
+  r.masked_failures_per_day = masked_per_day;
+  r.outages_per_day = unmasked_per_day;
+  r.downtime_s_per_day = masked_per_day * params.recovery_pause_s +
+                         unmasked_per_day * params.outage_s;
+  // Clamp: a pathological parameterization cannot exceed the day.
+  if (r.downtime_s_per_day > 86400.0) r.downtime_s_per_day = 86400.0;
+  r.availability = 1.0 - r.downtime_s_per_day / 86400.0;
+  r.mtbf_hours = unmasked_per_day > 0.0 ? 24.0 / unmasked_per_day
+                                        : std::numeric_limits<double>::infinity();
+  return r;
+}
+
+double nines(double availability) {
+  if (availability >= 1.0) return std::numeric_limits<double>::infinity();
+  if (availability <= 0.0) return 0.0;
+  return -std::log10(1.0 - availability);
+}
+
+}  // namespace faultstudy::stats

@@ -1,0 +1,53 @@
+// Availability model: what the fault-class mix and a mechanism's per-class
+// survival imply for service availability.
+//
+// The paper's "so what": if only 5-14% of faults are transient, a generic
+// recovery layer converts only that slice of failures into brief hiccups;
+// the rest remain full outages until a human intervenes. This model makes
+// the argument quantitative. It is a steady-state renewal argument, not a
+// simulation: failures arrive at a rate proportional to the class mix;
+// survived failures cost a recovery pause, unsurvived ones an operator
+// outage.
+#pragma once
+
+#include <array>
+
+#include "core/aggregate.hpp"
+
+namespace faultstudy::stats {
+
+/// Per-class probability that the mechanism survives a fault of the class.
+struct SurvivalProfile {
+  std::array<double, 3> survival{};  ///< indexed by core::FaultClass
+};
+
+struct AvailabilityParams {
+  /// Fault encounters per million operations, per class. Defaults scale the
+  /// study's 139-fault class mix (81.3% / 10.1% / 8.6%) onto a nominal one
+  /// encounter per ten million operations: EI bugs dominate encounters just
+  /// as they dominate the bug population.
+  std::array<double, 3> faults_per_million_ops{0.0813, 0.0101, 0.0086};
+  /// Seconds of service pause when recovery masks the failure.
+  double recovery_pause_s = 5.0;
+  /// Seconds of outage when it does not (page an operator, diagnose, fix).
+  double outage_s = 3600.0;
+  /// Operation throughput, ops/second.
+  double ops_per_second = 100.0;
+};
+
+struct AvailabilityResult {
+  double availability = 1.0;          ///< uptime fraction in steady state
+  double downtime_s_per_day = 0.0;
+  double masked_failures_per_day = 0.0;
+  double outages_per_day = 0.0;
+  /// Mean time between *unmasked* failures, in hours.
+  double mtbf_hours = 0.0;
+};
+
+AvailabilityResult estimate_availability(const SurvivalProfile& profile,
+                                         const AvailabilityParams& params = {});
+
+/// Nines formatting helper: 0.99953 -> "3.3 nines".
+double nines(double availability);
+
+}  // namespace faultstudy::stats

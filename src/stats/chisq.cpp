@@ -1,0 +1,114 @@
+#include "stats/chisq.hpp"
+
+#include <cmath>
+
+namespace faultstudy::stats {
+
+namespace {
+
+/// Regularized lower incomplete gamma P(a, x) via series (x < a+1) or
+/// continued fraction (x >= a+1); standard Numerical-Recipes-style forms.
+double gamma_p(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::fabs(del) < std::fabs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q, then P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e308;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double chi_square_tail(double x, std::size_t dof) {
+  if (dof == 0) return 1.0;
+  return 1.0 - gamma_p(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+ChiSquareResult chi_square(
+    const std::vector<std::vector<std::size_t>>& table) {
+  ChiSquareResult result;
+
+  // Drop all-zero rows/columns.
+  std::vector<std::vector<double>> t;
+  std::size_t cols = 0;
+  for (const auto& row : table) cols = std::max(cols, row.size());
+  std::vector<double> col_sums(cols, 0.0);
+  for (const auto& row : table) {
+    double row_sum = 0.0;
+    for (auto v : row) row_sum += static_cast<double>(v);
+    if (row_sum == 0.0) continue;
+    std::vector<double> r(cols, 0.0);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      r[j] = static_cast<double>(row[j]);
+      col_sums[j] += r[j];
+    }
+    t.push_back(std::move(r));
+  }
+  std::vector<std::size_t> keep;
+  for (std::size_t j = 0; j < cols; ++j) {
+    if (col_sums[j] > 0.0) keep.push_back(j);
+  }
+  if (t.size() < 2 || keep.size() < 2) {
+    result.reliable = false;
+    return result;
+  }
+
+  double total = 0.0;
+  std::vector<double> row_sums(t.size(), 0.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (std::size_t j : keep) row_sums[i] += t[i][j];
+    total += row_sums[i];
+  }
+
+  double stat = 0.0;
+  std::size_t small_cells = 0;
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (std::size_t j : keep) {
+      double col_sum = 0.0;
+      for (std::size_t k = 0; k < t.size(); ++k) col_sum += t[k][j];
+      const double expected = row_sums[i] * col_sum / total;
+      ++cells;
+      if (expected < 5.0) ++small_cells;
+      if (expected < 1.0) result.reliable = false;
+      const double diff = t[i][j] - expected;
+      stat += diff * diff / expected;
+    }
+  }
+  if (small_cells * 5 > cells) result.reliable = false;
+
+  result.statistic = stat;
+  result.dof = (t.size() - 1) * (keep.size() - 1);
+  result.p_value = chi_square_tail(stat, result.dof);
+  return result;
+}
+
+}  // namespace faultstudy::stats

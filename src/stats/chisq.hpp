@@ -1,0 +1,31 @@
+// Chi-square tests over class-count tables.
+//
+// Used to back the paper's prose claims statistically: "the relative
+// proportion of environment-independent bugs stays about the same even for
+// new releases" is a homogeneity test across release buckets, and the
+// three applications' class distributions can be compared the same way.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace faultstudy::stats {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  std::size_t dof = 0;
+  double p_value = 1.0;
+  /// False when expected counts are too small for the test to mean much
+  /// (any expected cell < 1, or >20% of cells below 5).
+  bool reliable = true;
+};
+
+/// Test of homogeneity over an r x c contingency table (rows: groups,
+/// columns: categories). Rows or columns that are entirely zero are dropped.
+ChiSquareResult chi_square(const std::vector<std::vector<std::size_t>>& table);
+
+/// Upper-tail probability of the chi-square distribution with `dof` degrees
+/// of freedom (regularized incomplete gamma Q(dof/2, x/2)).
+double chi_square_tail(double x, std::size_t dof);
+
+}  // namespace faultstudy::stats

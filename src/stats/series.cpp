@@ -1,0 +1,76 @@
+#include "stats/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faultstudy::stats {
+
+std::vector<SeriesPoint> build_series(std::span<const core::Fault> faults,
+                                      core::AppId app,
+                                      const std::vector<std::string>& labels) {
+  const auto buckets = core::tally_by_bucket(faults, app);
+  std::vector<SeriesPoint> out;
+  // Emit every labeled bucket, including empty ones, so figures keep their
+  // full x-axis.
+  const int max_bucket =
+      buckets.empty() ? static_cast<int>(labels.size()) - 1
+                      : std::max(static_cast<int>(labels.size()) - 1,
+                                 buckets.rbegin()->first);
+  for (int b = 0; b <= max_bucket; ++b) {
+    SeriesPoint p;
+    p.bucket = b;
+    p.label = b < static_cast<int>(labels.size()) ? labels[static_cast<std::size_t>(b)]
+                                                  : "bucket-" + std::to_string(b);
+    auto it = buckets.find(b);
+    if (it != buckets.end()) p.counts = it->second;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+double growth_fraction(std::span<const SeriesPoint> series, bool ignore_last) {
+  const std::size_t n = series.size() - (ignore_last && !series.empty() ? 1 : 0);
+  if (n < 2) return 1.0;
+  std::size_t nondecreasing = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (series[i].counts.total() >= series[i - 1].counts.total()) {
+      ++nondecreasing;
+    }
+  }
+  return static_cast<double>(nondecreasing) / static_cast<double>(n - 1);
+}
+
+double max_ei_share_deviation(std::span<const SeriesPoint> series,
+                              std::size_t min_bucket) {
+  core::ClassCounts overall;
+  for (const auto& p : series) overall += p.counts;
+  if (overall.total() == 0) return 0.0;
+  const double base =
+      overall.fraction(core::FaultClass::kEnvironmentIndependent);
+  double max_dev = 0.0;
+  for (const auto& p : series) {
+    if (p.counts.total() < min_bucket) continue;
+    const double share =
+        p.counts.fraction(core::FaultClass::kEnvironmentIndependent);
+    max_dev = std::max(max_dev, std::fabs(share - base));
+  }
+  return max_dev;
+}
+
+bool has_interior_dip(std::span<const SeriesPoint> series) {
+  for (std::size_t i = 1; i + 1 < series.size(); ++i) {
+    const std::size_t here = series[i].counts.total();
+    bool lower_before = false;
+    bool lower_after = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (series[j].counts.total() > here) lower_before = true;
+    }
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      if (series[j].counts.total() > here) lower_after = true;
+    }
+    if (lower_before && lower_after) return true;
+  }
+  return false;
+}
+
+}  // namespace faultstudy::stats

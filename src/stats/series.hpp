@@ -1,0 +1,42 @@
+// Per-bucket class-count series: the data behind Figures 1-3, plus the
+// shape checks the paper states in prose.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+
+namespace faultstudy::stats {
+
+struct SeriesPoint {
+  int bucket = 0;
+  std::string label;  ///< release version or time period
+  core::ClassCounts counts;
+};
+
+/// Builds the series for one application, with human-readable bucket labels.
+std::vector<SeriesPoint> build_series(std::span<const core::Fault> faults,
+                                      core::AppId app,
+                                      const std::vector<std::string>& labels);
+
+/// Shape property 1 (Apache/MySQL figures): total faults grow with newer
+/// releases. Checked as: Spearman-style monotone trend — returns the
+/// fraction of consecutive pairs that are non-decreasing, over the series
+/// excluding the final bucket if `ignore_last` (MySQL's newest release is
+/// "very new" and undercounted).
+double growth_fraction(std::span<const SeriesPoint> series, bool ignore_last);
+
+/// Shape property 2: the EI proportion stays roughly constant. Returns the
+/// max absolute deviation of per-bucket EI share from the overall share
+/// (buckets with fewer than `min_bucket` faults are skipped as noise).
+double max_ei_share_deviation(std::span<const SeriesPoint> series,
+                              std::size_t min_bucket = 3);
+
+/// GNOME shape property: a dip — some interior bucket is strictly below
+/// both some earlier and some later bucket total.
+bool has_interior_dip(std::span<const SeriesPoint> series);
+
+}  // namespace faultstudy::stats

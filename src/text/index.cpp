@@ -1,0 +1,61 @@
+#include "text/index.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/stemmer.hpp"
+#include "text/tokenizer.hpp"
+
+namespace faultstudy::text {
+
+void InvertedIndex::add_document(std::uint64_t doc_id, std::string_view body) {
+  ++num_documents_;
+  std::unordered_set<std::string> seen;
+  for (auto& tok : stem_all(tokenize(body))) {
+    if (seen.insert(tok).second) postings_[tok].push_back(doc_id);
+  }
+}
+
+std::vector<std::uint64_t> InvertedIndex::match_any(
+    const std::vector<std::string>& keywords) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& kw : keywords) {
+    auto it = postings_.find(stem(kw));
+    if (it != postings_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> InvertedIndex::match_all(
+    const std::vector<std::string>& keywords) const {
+  if (keywords.empty()) return {};
+  std::vector<std::uint64_t> acc;
+  bool first = true;
+  for (const auto& kw : keywords) {
+    auto it = postings_.find(stem(kw));
+    if (it == postings_.end()) return {};
+    std::vector<std::uint64_t> sorted = it->second;
+    std::sort(sorted.begin(), sorted.end());
+    if (first) {
+      acc = std::move(sorted);
+      first = false;
+    } else {
+      std::vector<std::uint64_t> merged;
+      std::set_intersection(acc.begin(), acc.end(), sorted.begin(),
+                            sorted.end(), std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+  }
+  return acc;
+}
+
+std::size_t InvertedIndex::document_frequency(std::string_view keyword) const {
+  auto it = postings_.find(stem(keyword));
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+}  // namespace faultstudy::text

@@ -1,0 +1,42 @@
+// Inverted keyword index over a document collection.
+//
+// Models the paper's MySQL methodology: "we use all the messages from the
+// archives that matched one of the following keywords: crash, segmentation,
+// race, died". Queries match on stems so morphological variants count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace faultstudy::text {
+
+class InvertedIndex {
+ public:
+  /// Adds a document; `doc_id` is caller-defined and must be unique.
+  /// Text is tokenized and stemmed internally.
+  void add_document(std::uint64_t doc_id, std::string_view body);
+
+  /// Documents containing at least one of the keywords (OR semantics, as in
+  /// the paper). Keywords are stemmed before lookup. Result is sorted and
+  /// deduplicated.
+  std::vector<std::uint64_t> match_any(
+      const std::vector<std::string>& keywords) const;
+
+  /// Documents containing every keyword (AND semantics).
+  std::vector<std::uint64_t> match_all(
+      const std::vector<std::string>& keywords) const;
+
+  /// Number of documents a stemmed term appears in.
+  std::size_t document_frequency(std::string_view keyword) const;
+
+  std::size_t size() const noexcept { return num_documents_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::uint64_t>> postings_;
+  std::size_t num_documents_ = 0;
+};
+
+}  // namespace faultstudy::text

@@ -1,0 +1,102 @@
+#include "text/minhash.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace faultstudy::text {
+
+namespace {
+std::uint64_t mix(std::uint64_t x, std::uint64_t seed) {
+  // xor-fold of SplitMix64's finalizer; cheap and well distributed.
+  x ^= seed;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+MinHasher::MinHasher(MinHashParams params) : params_(params) {
+  assert(params_.num_hashes > 0);
+  assert(params_.band_size > 0 && params_.num_hashes % params_.band_size == 0);
+  util::SplitMix64 sm(params_.seed);
+  hash_seeds_.resize(params_.num_hashes);
+  for (auto& s : hash_seeds_) s = sm.next();
+}
+
+Signature MinHasher::signature(const std::vector<std::string>& tokens) const {
+  Signature sig(params_.num_hashes, std::numeric_limits<std::uint64_t>::max());
+  if (tokens.empty()) return sig;
+  const std::size_t width =
+      std::min<std::size_t>(params_.shingle_size, tokens.size());
+
+  for (std::size_t i = 0; i + width <= tokens.size(); ++i) {
+    std::uint64_t shingle_hash = 0xcbf29ce484222325ULL;
+    for (std::size_t j = 0; j < width; ++j) {
+      shingle_hash ^= util::fnv1a(tokens[i + j]);
+      shingle_hash *= 0x100000001b3ULL;
+    }
+    for (std::uint32_t h = 0; h < params_.num_hashes; ++h) {
+      const std::uint64_t v = mix(shingle_hash, hash_seeds_[h]);
+      if (v < sig[h]) sig[h] = v;
+    }
+  }
+  return sig;
+}
+
+double MinHasher::estimate_jaccard(const Signature& a, const Signature& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  std::size_t match = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++match;
+  }
+  return static_cast<double>(match) / static_cast<double>(a.size());
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> lsh_candidates(
+    const std::vector<Signature>& signatures, const MinHashParams& params) {
+  const std::uint32_t bands = params.num_hashes / params.band_size;
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+
+  for (std::uint32_t b = 0; b < bands; ++b) {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    for (std::size_t doc = 0; doc < signatures.size(); ++doc) {
+      std::uint64_t key = 0xcbf29ce484222325ULL ^ b;
+      for (std::uint32_t r = 0; r < params.band_size; ++r) {
+        key ^= signatures[doc][b * params.band_size + r];
+        key *= 0x100000001b3ULL;
+      }
+      buckets[key].push_back(doc);
+    }
+    for (const auto& [key, docs] : buckets) {
+      (void)key;
+      for (std::size_t i = 0; i < docs.size(); ++i) {
+        for (std::size_t j = i + 1; j < docs.size(); ++j) {
+          pairs.emplace(docs[i], docs[j]);
+        }
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+double exact_jaccard(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  const std::unordered_set<std::string> sa(a.begin(), a.end());
+  const std::unordered_set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 0.0;
+  std::size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.contains(t)) ++inter;
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size() - inter);
+}
+
+}  // namespace faultstudy::text

@@ -1,0 +1,51 @@
+// MinHash signatures with LSH banding for near-duplicate candidate pairs.
+//
+// The tracker corpora contain thousands of reports; all-pairs TF-IDF cosine
+// would be O(n^2) with a large constant. MinHash over word shingles gives
+// cheap Jaccard estimates, and banding turns "estimate > threshold" into a
+// hash-bucket join so only colliding pairs are confirmed with cosine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faultstudy::text {
+
+struct MinHashParams {
+  std::uint32_t num_hashes = 64;   ///< signature length
+  std::uint32_t band_size = 4;     ///< rows per LSH band (must divide num_hashes)
+  std::uint32_t shingle_size = 3;  ///< word-shingle width
+  std::uint64_t seed = 0x5eed;     ///< hash-family seed
+};
+
+using Signature = std::vector<std::uint64_t>;
+
+class MinHasher {
+ public:
+  explicit MinHasher(MinHashParams params);
+
+  /// Signature of a token sequence. Documents shorter than the shingle size
+  /// are shingled at width tokens.size() (min 1) so they still participate.
+  Signature signature(const std::vector<std::string>& tokens) const;
+
+  /// Fraction of matching signature positions = Jaccard estimate.
+  static double estimate_jaccard(const Signature& a, const Signature& b);
+
+  const MinHashParams& params() const noexcept { return params_; }
+
+ private:
+  MinHashParams params_;
+  std::vector<std::uint64_t> hash_seeds_;
+};
+
+/// Candidate-pair generation: documents whose signatures agree on all rows
+/// of at least one band. Pairs are returned with i < j, deduplicated.
+std::vector<std::pair<std::size_t, std::size_t>> lsh_candidates(
+    const std::vector<Signature>& signatures, const MinHashParams& params);
+
+/// Exact Jaccard over token sets, for testing the estimator.
+double exact_jaccard(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+}  // namespace faultstudy::text

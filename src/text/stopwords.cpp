@@ -1,0 +1,41 @@
+#include "text/stopwords.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace faultstudy::text {
+
+namespace {
+const std::unordered_set<std::string_view>& stopword_set() {
+  // "out", "up", "down", "full", "long" are deliberately absent: in this
+  // domain they appear in phrases like "out of file descriptors" and
+  // "long URL" that the classifier keys on.
+  static const std::unordered_set<std::string_view> kSet = {
+      "a",     "an",    "and",   "are",   "as",    "at",    "be",    "been",
+      "but",   "by",    "can",   "could", "did",   "do",    "does",  "for",
+      "from",  "had",   "has",   "have",  "he",    "her",   "his",   "how",
+      "i",     "if",    "in",    "into",  "is",    "it",    "its",   "me",
+      "my",    "no",    "not",   "of",    "on",    "or",    "our",   "she",
+      "so",    "some",  "such",  "than",  "that",  "the",   "their", "them",
+      "then",  "there", "these", "they",  "this",  "to",    "was",   "we",
+      "were",  "what",  "when",  "which", "while", "who",   "why",   "will",
+      "with",  "would", "you",   "your",  "also",  "any",   "just",  "get",
+      "gets",  "got",   "very",  "here",  "after", "before","again", "same",
+  };
+  return kSet;
+}
+}  // namespace
+
+bool is_stopword(std::string_view token) {
+  return stopword_set().contains(token);
+}
+
+std::vector<std::string> remove_stopwords(std::vector<std::string> tokens) {
+  tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                              [](const std::string& t) { return is_stopword(t); }),
+               tokens.end());
+  return tokens;
+}
+
+}  // namespace faultstudy::text

@@ -1,0 +1,17 @@
+// English stopword list tuned for bug-report prose.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace faultstudy::text {
+
+/// True for common English function words. Domain words that look like
+/// stopwords but carry signal in bug reports ("out" as in "out of memory")
+/// are intentionally NOT stopped.
+bool is_stopword(std::string_view token);
+
+/// Removes stopwords, preserving order of the survivors.
+std::vector<std::string> remove_stopwords(std::vector<std::string> tokens);
+
+}  // namespace faultstudy::text

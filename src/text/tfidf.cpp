@@ -1,0 +1,82 @@
+#include "text/tfidf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace faultstudy::text {
+
+std::uint32_t Vocabulary::add(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+std::uint32_t Vocabulary::lookup(std::string_view term) const noexcept {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kUnknown : it->second;
+}
+
+void TfIdfModel::fit(const std::vector<std::vector<std::string>>& documents) {
+  num_documents_ = documents.size();
+  for (const auto& doc : documents) {
+    std::unordered_set<std::uint32_t> seen;
+    for (const auto& term : doc) {
+      const std::uint32_t id = vocab_.add(term);
+      if (id >= doc_freq_.size()) doc_freq_.resize(id + 1, 0);
+      if (seen.insert(id).second) ++doc_freq_[id];
+    }
+  }
+}
+
+DocVector TfIdfModel::transform(const std::vector<std::string>& tokens) const {
+  std::unordered_map<std::uint32_t, std::uint32_t> tf;
+  for (const auto& term : tokens) {
+    const std::uint32_t id = vocab_.lookup(term);
+    if (id != Vocabulary::kUnknown) ++tf[id];
+  }
+  DocVector vec;
+  vec.entries.reserve(tf.size());
+  const double n = static_cast<double>(num_documents_);
+  for (const auto& [id, count] : tf) {
+    const double idf =
+        std::log((1.0 + n) / (1.0 + static_cast<double>(doc_freq_[id]))) + 1.0;
+    const double w = (1.0 + std::log(static_cast<double>(count))) * idf;
+    vec.entries.push_back({id, static_cast<float>(w)});
+  }
+  std::sort(vec.entries.begin(), vec.entries.end(),
+            [](const TermWeight& a, const TermWeight& b) {
+              return a.term < b.term;
+            });
+  double norm2 = 0.0;
+  for (const auto& e : vec.entries) norm2 += double(e.weight) * e.weight;
+  if (norm2 > 0.0) {
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (auto& e : vec.entries) e.weight *= inv;
+  }
+  return vec;
+}
+
+double cosine(const DocVector& a, const DocVector& b) noexcept {
+  double dot = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    const auto ta = a.entries[i].term;
+    const auto tb = b.entries[j].term;
+    if (ta == tb) {
+      dot += double(a.entries[i].weight) * b.entries[j].weight;
+      ++i;
+      ++j;
+    } else if (ta < tb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+}  // namespace faultstudy::text

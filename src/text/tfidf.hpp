@@ -1,0 +1,66 @@
+// TF-IDF vectorization and cosine similarity.
+//
+// Used by the duplicate-report clustering stage: MinHash proposes candidate
+// pairs cheaply, TF-IDF cosine confirms them. Vectors are sparse and stored
+// sorted by term id so that dot products are linear merges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace faultstudy::text {
+
+/// Maps terms to dense integer ids. Grows on demand during fitting; lookup
+/// of unknown terms returns kUnknown.
+class Vocabulary {
+ public:
+  static constexpr std::uint32_t kUnknown = 0xffffffffu;
+
+  std::uint32_t add(std::string_view term);
+  std::uint32_t lookup(std::string_view term) const noexcept;
+  std::size_t size() const noexcept { return terms_.size(); }
+  const std::string& term(std::uint32_t id) const { return terms_.at(id); }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> terms_;
+};
+
+/// Sparse vector entry.
+struct TermWeight {
+  std::uint32_t term = 0;
+  float weight = 0.0f;
+};
+
+/// A document as a unit-normalized sparse TF-IDF vector (sorted by term id).
+struct DocVector {
+  std::vector<TermWeight> entries;
+};
+
+/// Fits document frequencies over a corpus, then transforms documents.
+class TfIdfModel {
+ public:
+  /// `documents` are pre-tokenized (tokenize -> remove_stopwords -> stem).
+  void fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// TF (1 + log tf) * IDF (log((1+N)/(1+df)) + 1), L2-normalized.
+  /// Unknown terms are dropped.
+  DocVector transform(const std::vector<std::string>& tokens) const;
+
+  std::size_t corpus_size() const noexcept { return num_documents_; }
+  const Vocabulary& vocabulary() const noexcept { return vocab_; }
+
+ private:
+  Vocabulary vocab_;
+  std::vector<std::uint32_t> doc_freq_;
+  std::size_t num_documents_ = 0;
+};
+
+/// Cosine similarity of two unit vectors (plain dot product). Inputs must be
+/// sorted by term id, which TfIdfModel::transform guarantees.
+double cosine(const DocVector& a, const DocVector& b) noexcept;
+
+}  // namespace faultstudy::text

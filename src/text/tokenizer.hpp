@@ -1,0 +1,32 @@
+// Tokenization for bug-report text.
+//
+// Bug reports mix prose with code fragments, version numbers, signal names,
+// and URLs; the tokenizer keeps tokens like "sigsegv", "va_list" and "2.0.36"
+// intact because they carry most of the classification signal.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faultstudy::text {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool keep_numbers = true;
+  /// Drop tokens shorter than this many characters after normalization.
+  std::size_t min_length = 2;
+};
+
+/// Splits text into word tokens. A token is a maximal run of [A-Za-z0-9_]
+/// optionally containing internal '.' or '-' when flanked by alphanumerics
+/// (so "2.0.36", "va_list" and "tar.gz" each survive as one token).
+std::vector<std::string> tokenize(std::string_view input,
+                                  const TokenizerOptions& options = {});
+
+/// Contiguous word n-grams over a token sequence, joined with '_'.
+/// n must be >= 1; returns empty when tokens.size() < n.
+std::vector<std::string> ngrams(const std::vector<std::string>& tokens,
+                                std::size_t n);
+
+}  // namespace faultstudy::text

@@ -1,0 +1,34 @@
+// Minimal leveled logger.
+//
+// The experiment harness produces machine-readable transcripts through
+// harness::Transcript; this logger exists only for human-facing diagnostics
+// in examples and debugging, so it is deliberately tiny: a global level and
+// free functions writing to stderr.
+#pragma once
+
+#include <string_view>
+
+namespace faultstudy::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+void log(LogLevel level, std::string_view component, std::string_view message);
+
+inline void log_debug(std::string_view c, std::string_view m) {
+  log(LogLevel::kDebug, c, m);
+}
+inline void log_info(std::string_view c, std::string_view m) {
+  log(LogLevel::kInfo, c, m);
+}
+inline void log_warn(std::string_view c, std::string_view m) {
+  log(LogLevel::kWarn, c, m);
+}
+inline void log_error(std::string_view c, std::string_view m) {
+  log(LogLevel::kError, c, m);
+}
+
+}  // namespace faultstudy::util

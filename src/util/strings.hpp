@@ -1,0 +1,44 @@
+// Small string utilities shared across the text-mining pipeline and the
+// report renderers. All functions are pure and allocate only when the result
+// requires it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faultstudy::util {
+
+/// Splits on a single separator character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on any run of ASCII whitespace; no empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive substring test (ASCII).
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Left-pads / right-pads with spaces to at least `width` columns.
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Formats a double with `digits` places after the point (no locale).
+std::string fixed(double v, int digits);
+
+/// Formats a proportion as a percentage string, e.g. 0.1234 -> "12.3%".
+std::string percent(double fraction, int digits = 1);
+
+}  // namespace faultstudy::util

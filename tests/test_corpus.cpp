@@ -1,0 +1,324 @@
+// Tests for the curated seed data and the synthetic corpus generators:
+// the seed invariants that make Tables 1-3 and Figures 1-3 reproducible,
+// and the statistical properties of the generated corpora.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/aggregate.hpp"
+#include "corpus/seeds.hpp"
+#include "corpus/synth.hpp"
+#include "mining/filters.hpp"
+
+namespace faultstudy::corpus {
+namespace {
+
+using core::FaultClass;
+
+core::ClassCounts seed_counts(const std::vector<SeedFault>& seeds) {
+  core::ClassCounts c;
+  for (const auto& s : seeds) ++c[seed_class(s)];
+  return c;
+}
+
+// ------------------------------------------------------------ seed data
+
+TEST(Seeds, ApacheMatchesTable1) {
+  const auto seeds = apache_seeds();
+  EXPECT_EQ(seeds.size(), 50u);
+  const auto c = seed_counts(seeds);
+  EXPECT_EQ(c[FaultClass::kEnvironmentIndependent], 36u);
+  EXPECT_EQ(c[FaultClass::kEnvDependentNonTransient], 7u);
+  EXPECT_EQ(c[FaultClass::kEnvDependentTransient], 7u);
+}
+
+TEST(Seeds, GnomeMatchesTable2) {
+  const auto seeds = gnome_seeds();
+  EXPECT_EQ(seeds.size(), 45u);
+  const auto c = seed_counts(seeds);
+  EXPECT_EQ(c[FaultClass::kEnvironmentIndependent], 39u);
+  EXPECT_EQ(c[FaultClass::kEnvDependentNonTransient], 3u);
+  EXPECT_EQ(c[FaultClass::kEnvDependentTransient], 3u);
+}
+
+TEST(Seeds, MysqlMatchesTable3) {
+  const auto seeds = mysql_seeds();
+  EXPECT_EQ(seeds.size(), 44u);
+  const auto c = seed_counts(seeds);
+  EXPECT_EQ(c[FaultClass::kEnvironmentIndependent], 38u);
+  EXPECT_EQ(c[FaultClass::kEnvDependentNonTransient], 4u);
+  EXPECT_EQ(c[FaultClass::kEnvDependentTransient], 2u);
+}
+
+TEST(Seeds, AllSeedsIs139) {
+  EXPECT_EQ(all_seeds().size(), 139u);
+}
+
+TEST(Seeds, FaultIdsUnique) {
+  std::set<std::string> ids;
+  for (const auto& s : all_seeds()) {
+    EXPECT_TRUE(ids.insert(s.fault_id).second) << "duplicate " << s.fault_id;
+  }
+}
+
+TEST(Seeds, EverySeedHasText) {
+  for (const auto& s : all_seeds()) {
+    EXPECT_FALSE(s.title.empty()) << s.fault_id;
+    EXPECT_FALSE(s.how_to_repeat.empty()) << s.fault_id;
+    EXPECT_FALSE(s.developer_comment.empty()) << s.fault_id;
+    EXPECT_FALSE(s.component.empty()) << s.fault_id;
+  }
+}
+
+TEST(Seeds, BucketsWithinRange) {
+  for (const auto& s : apache_seeds()) {
+    EXPECT_GE(s.bucket, 0);
+    EXPECT_LT(s.bucket, static_cast<int>(apache_releases().size()));
+  }
+  for (const auto& s : gnome_seeds()) {
+    EXPECT_GE(s.bucket, 0);
+    EXPECT_LT(s.bucket, static_cast<int>(gnome_periods().size()));
+  }
+  for (const auto& s : mysql_seeds()) {
+    EXPECT_GE(s.bucket, 0);
+    EXPECT_LT(s.bucket, static_cast<int>(mysql_releases().size()));
+  }
+}
+
+TEST(Seeds, ApacheBucketTotalsGrow) {
+  // Figure 1 property: totals per release are non-decreasing.
+  std::map<int, int> totals;
+  for (const auto& s : apache_seeds()) ++totals[s.bucket];
+  int prev = 0;
+  for (const auto& [bucket, n] : totals) {
+    (void)bucket;
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Seeds, MysqlLastReleaseSmall) {
+  // Figure 3 property: the newest release has fewer faults than its
+  // predecessor.
+  std::map<int, int> totals;
+  for (const auto& s : mysql_seeds()) ++totals[s.bucket];
+  const int last = totals.rbegin()->second;
+  const int prev = std::next(totals.rbegin())->second;
+  EXPECT_LT(last, prev);
+}
+
+TEST(Seeds, GnomeHasDip) {
+  std::map<int, int> totals;
+  for (const auto& s : gnome_seeds()) ++totals[s.bucket];
+  bool dip = false;
+  for (auto it = std::next(totals.begin());
+       std::next(it) != totals.end(); ++it) {
+    if (it->second < std::prev(it)->second &&
+        it->second < std::next(it)->second) {
+      dip = true;
+    }
+  }
+  EXPECT_TRUE(dip);
+}
+
+TEST(Seeds, ToFaultPreservesFields) {
+  const auto seeds = apache_seeds();
+  const auto fault = to_fault(seeds.front());
+  EXPECT_EQ(fault.id, seeds.front().fault_id);
+  EXPECT_EQ(fault.app, core::AppId::kApache);
+  EXPECT_EQ(fault.trigger, seeds.front().trigger);
+  EXPECT_EQ(fault.fault_class, seed_class(seeds.front()));
+  EXPECT_EQ(fault.bucket, seeds.front().bucket);
+}
+
+TEST(Seeds, EnvDependentSeedsMatchPaperBullets) {
+  // Spot-check the transcription: the paper's env-dependent bullets.
+  const auto seeds = all_seeds();
+  const auto find = [&](const std::string& id) -> const SeedFault& {
+    for (const auto& s : seeds) {
+      if (s.fault_id == id) return s;
+    }
+    ADD_FAILURE() << "missing " << id;
+    static SeedFault dummy;
+    return dummy;
+  };
+  EXPECT_EQ(find("apache-edn-07").trigger, core::Trigger::kHardwareRemoval);
+  EXPECT_EQ(find("apache-edt-07").trigger, core::Trigger::kEntropyShortage);
+  EXPECT_EQ(find("gnome-edn-01").trigger, core::Trigger::kHostnameChanged);
+  EXPECT_EQ(find("gnome-edt-02").trigger, core::Trigger::kRaceCondition);
+  EXPECT_EQ(find("mysql-edn-02").trigger, core::Trigger::kReverseDnsMissing);
+  EXPECT_EQ(find("mysql-edt-01").trigger, core::Trigger::kRaceCondition);
+}
+
+// --------------------------------------------------------------- dates
+
+TEST(Dates, MonthLabelAndIndex) {
+  EXPECT_EQ(Date{0}.month_label(), "1998-01");
+  EXPECT_EQ(Date{40}.month_label(), "1998-02");
+  EXPECT_EQ(Date{370}.month_index(), 12);
+}
+
+TEST(Dates, GnomeBucketRoundTrip) {
+  for (int bucket = 0; bucket < 8; ++bucket) {
+    for (int off : {0, 30, 60}) {
+      EXPECT_EQ(gnome_bucket_of_date(gnome_date_in_bucket(bucket, off)),
+                bucket);
+    }
+  }
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(Synth, ApacheTrackerVolumeAndTruth) {
+  const auto tracker = make_apache_tracker();
+  EXPECT_EQ(tracker.size(), 5220u);
+  EXPECT_EQ(tracker.distinct_faults(), 50u);
+  EXPECT_EQ(tracker.app(), core::AppId::kApache);
+}
+
+TEST(Synth, GnomeTrackerVolumeAndTruth) {
+  const auto tracker = make_gnome_tracker();
+  EXPECT_EQ(tracker.size(), 500u);
+  EXPECT_EQ(tracker.distinct_faults(), 45u);
+}
+
+TEST(Synth, MysqlListVolumeAndTruth) {
+  const auto list = make_mysql_list();
+  EXPECT_EQ(list.size(), 44000u);
+  EXPECT_EQ(list.distinct_faults(), 44u);
+}
+
+TEST(Synth, DeterministicInSeed) {
+  const auto a = make_apache_tracker();
+  const auto b = make_apache_tracker();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.reports()[i].text.title, b.reports()[i].text.title);
+    EXPECT_EQ(a.reports()[i].severity, b.reports()[i].severity);
+  }
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  SynthConfig other;
+  other.seed = 777;
+  const auto a = make_apache_tracker();
+  const auto b = make_apache_tracker(other);
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.reports()[i].text.title != b.reports()[i].text.title) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(Synth, NoiseNeverPassesStudyCriteria) {
+  // Every report that passes the study filters must belong to a planted
+  // fault — otherwise the unique-bug count would drift.
+  const auto tracker = make_apache_tracker();
+  for (const auto& r : tracker.reports()) {
+    if (mining::passes_study_criteria(r)) {
+      EXPECT_FALSE(r.fault_id.empty()) << r.text.title;
+    }
+  }
+}
+
+TEST(Synth, EverySeedHasPrimaryPassingFilters) {
+  const auto tracker = make_gnome_tracker();
+  std::set<std::string> passing;
+  for (const auto& r : tracker.reports()) {
+    if (mining::passes_study_criteria(r)) passing.insert(r.fault_id);
+  }
+  EXPECT_EQ(passing.size(), 45u);
+}
+
+TEST(Synth, DuplicatesShareGroundTruth) {
+  const auto tracker = make_apache_tracker();
+  std::map<std::string, std::set<int>> classes_per_fault;
+  for (const auto& r : tracker.reports()) {
+    if (!r.fault_id.empty() && r.truth_class.has_value()) {
+      classes_per_fault[r.fault_id].insert(static_cast<int>(*r.truth_class));
+    }
+  }
+  for (const auto& [id, classes] : classes_per_fault) {
+    EXPECT_EQ(classes.size(), 1u) << id;
+  }
+}
+
+TEST(Synth, MysqlThreadsContainDeveloperDiagnosis) {
+  const auto list = make_mysql_list();
+  std::set<std::uint64_t> threads_with_dev;
+  std::set<std::uint64_t> fault_threads;
+  for (const auto& m : list.messages()) {
+    if (!m.fault_id.empty()) {
+      fault_threads.insert(m.thread_id);
+      if (m.sender == "monty@mysql.example") {
+        threads_with_dev.insert(m.thread_id);
+      }
+    }
+  }
+  EXPECT_EQ(threads_with_dev.size(), fault_threads.size());
+}
+
+TEST(Synth, MysqlChatterHasNoFaultId) {
+  const auto list = make_mysql_list();
+  std::size_t chatter = 0;
+  for (const auto& m : list.messages()) {
+    if (m.fault_id.empty()) ++chatter;
+  }
+  // The overwhelming majority of the 44k messages is ordinary discussion.
+  EXPECT_GT(chatter, 40000u);
+}
+
+TEST(Synth, ConfigVolumesRespected) {
+  SynthConfig config;
+  config.apache_total = 300;
+  config.gnome_total = 120;
+  config.mysql_messages = 800;
+  EXPECT_EQ(make_apache_tracker(config).size(), 300u);
+  EXPECT_EQ(make_gnome_tracker(config).size(), 120u);
+  EXPECT_EQ(make_mysql_list(config).size(), 800u);
+}
+
+// ------------------------------------------------------------ containers
+
+TEST(Tracker, AddAssignsIds) {
+  BugTracker tracker(core::AppId::kApache);
+  BugReport r;
+  const auto id1 = tracker.add(r);
+  const auto id2 = tracker.add(r);
+  EXPECT_NE(id1, id2);
+  EXPECT_NE(tracker.find(id1), nullptr);
+  EXPECT_EQ(tracker.find(99999), nullptr);
+}
+
+TEST(Tracker, SelectFilters) {
+  BugTracker tracker(core::AppId::kApache);
+  BugReport r;
+  r.severity = Severity::kCritical;
+  tracker.add(r);
+  r.severity = Severity::kMinor;
+  tracker.add(r);
+  const auto selected = tracker.select([](const BugReport& b) {
+    return b.severity == Severity::kCritical;
+  });
+  EXPECT_EQ(selected.size(), 1u);
+}
+
+TEST(MailingListContainer, ThreadsGroupMessages) {
+  MailingList list;
+  MailMessage root;
+  root.subject = "bug";
+  const auto root_id = list.add(root);
+  MailMessage reply;
+  reply.thread_id = root_id;
+  list.add(reply);
+  MailMessage other;
+  list.add(other);
+
+  EXPECT_EQ(list.thread(root_id).size(), 2u);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+}  // namespace
+}  // namespace faultstudy::corpus

@@ -1,0 +1,339 @@
+// Tests for the Section 6 countermeasures: resource guards, robustness
+// wrappers, design diversity, scheduled rejuvenation, and the availability
+// model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/webserver.hpp"
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "recovery/nversion.hpp"
+#include "recovery/process_pairs.hpp"
+#include "recovery/rejuvenation.hpp"
+#include "recovery/resource_guard.hpp"
+#include "recovery/wrappers.hpp"
+#include "stats/availability.hpp"
+#include "util/rng.hpp"
+
+namespace faultstudy {
+namespace {
+
+using recovery::Mechanism;
+
+const corpus::SeedFault& find_seed(const std::vector<corpus::SeedFault>& seeds,
+                                   const std::string& id) {
+  for (const auto& s : seeds) {
+    if (s.fault_id == id) return s;
+  }
+  ADD_FAILURE() << "missing seed " << id;
+  static corpus::SeedFault dummy;
+  return dummy;
+}
+
+harness::TrialOutcome run_seed(const corpus::SeedFault& seed, Mechanism& m,
+                               std::uint64_t salt = 99) {
+  harness::TrialConfig config;
+  config.seed = salt + util::fnv1a(seed.fault_id);
+  const auto plan = inject::plan_for(seed, config.seed);
+  return harness::run_trial(plan, m, config);
+}
+
+// -------------------------------------------------------- resource guards
+
+TEST(Guards, FdGrowthGrowsOnlyWhenTight) {
+  env::Environment e;
+  apps::WebServer app;
+  app.start(e);
+  recovery::DynamicFdGrowth guard(32, 512);
+  const auto before = e.fds().capacity();
+  guard.on_failure(app, e);  // plenty of room: no growth
+  EXPECT_EQ(e.fds().capacity(), before);
+  e.fds().acquire("hog", e.fds().available());
+  guard.on_failure(app, e);
+  EXPECT_EQ(e.fds().capacity(), before + 32);
+}
+
+TEST(Guards, FdGrowthRespectsCap) {
+  env::EnvironmentConfig config;
+  config.fd_slots = 100;
+  env::Environment e(config);
+  apps::WebServer app;
+  recovery::DynamicFdGrowth guard(64, 128);
+  e.fds().acquire("hog", 100);
+  guard.on_failure(app, e);
+  EXPECT_EQ(e.fds().capacity(), 128u);  // clamped to max_total
+  guard.on_failure(app, e);
+  EXPECT_EQ(e.fds().capacity(), 128u);
+}
+
+TEST(Guards, DiskGrowthRaisesCapacityAndLimit) {
+  env::EnvironmentConfig config;
+  config.disk_capacity = 1000;
+  config.max_file_size = 500;
+  env::Environment e(config);
+  apps::WebServer app;
+  e.disk().consume_external(1000);
+  recovery::DynamicDiskGrowth guard(2000, 1u << 20);
+  guard.on_failure(app, e);
+  EXPECT_GT(e.disk().free_space(), 0u);
+  EXPECT_GE(e.disk().max_file_size(), 1000u);
+}
+
+TEST(Guards, GcReclaimsIdleDescriptorsAfterRecovery) {
+  env::Environment e;
+  apps::WebServer app;
+  apps::ActiveFault fault;
+  fault.trigger = core::Trigger::kFdExhaustion;
+  fault.symptom = core::Symptom::kErrorReturn;
+  app.arm_fault(fault);
+  app.start(e);
+  apps::WorkItem w;
+  w.op = "GET /";
+  for (int i = 0; i < 4; ++i) app.handle(w, e);
+  const auto before = app.fd_footprint();
+  ASSERT_GT(app.idle_descriptors(), 0u);
+
+  recovery::FdGarbageCollector gc(1.0);
+  gc.on_recovered(app, e);
+  EXPECT_EQ(app.idle_descriptors(), 0u);
+  EXPECT_LT(app.fd_footprint(), before);
+  EXPECT_EQ(e.fds().held_by("apache"), app.fd_footprint());
+}
+
+TEST(Guards, ReclaimFractionPartial) {
+  env::Environment e;
+  apps::WebServer app;
+  apps::ActiveFault fault;
+  fault.trigger = core::Trigger::kFdExhaustion;
+  app.arm_fault(fault);
+  app.start(e);
+  apps::WorkItem w;
+  w.op = "GET /";
+  for (int i = 0; i < 5; ++i) app.handle(w, e);  // 20 idle
+  const auto freed = app.reclaim_idle_descriptors(e, 0.5);
+  EXPECT_EQ(freed, 10u);
+  EXPECT_EQ(app.idle_descriptors(), 10u);
+}
+
+TEST(Guards, GuardedMechanismKeepsInnerProperties) {
+  auto guarded = recovery::with_standard_guards(
+      std::make_unique<recovery::ProcessPairs>());
+  EXPECT_TRUE(guarded->is_generic());
+  EXPECT_TRUE(guarded->preserves_state());
+  EXPECT_EQ(guarded->name(), "process-pairs+guards");
+}
+
+TEST(Guards, ConvertFdExhaustionToSurvivable) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "apache-edn-02");
+
+  recovery::ProcessPairs bare;
+  EXPECT_FALSE(run_seed(seed, bare).survived);
+
+  auto guarded = recovery::with_standard_guards(
+      std::make_unique<recovery::ProcessPairs>());
+  const auto outcome = run_seed(seed, *guarded);
+  EXPECT_TRUE(outcome.failure_observed);
+  EXPECT_TRUE(outcome.survived);
+}
+
+TEST(Guards, ConvertFullFileSystemToSurvivable) {
+  const auto seeds = corpus::all_seeds();
+  auto guarded = recovery::with_standard_guards(
+      std::make_unique<recovery::ProcessPairs>());
+  EXPECT_TRUE(run_seed(find_seed(seeds, "mysql-edn-04"), *guarded).survived);
+}
+
+TEST(Guards, DoNotTouchNonResourceEdn) {
+  const auto seeds = corpus::all_seeds();
+  auto guarded = recovery::with_standard_guards(
+      std::make_unique<recovery::ProcessPairs>());
+  // Hostname change is not a resource; guards must not mask it.
+  EXPECT_FALSE(run_seed(find_seed(seeds, "gnome-edn-01"), *guarded).survived);
+}
+
+TEST(Guards, DoNotHelpEnvironmentIndependentFaults) {
+  const auto seeds = corpus::all_seeds();
+  auto guarded = recovery::with_standard_guards(
+      std::make_unique<recovery::ProcessPairs>());
+  EXPECT_FALSE(run_seed(find_seed(seeds, "apache-ei-01"), *guarded).survived);
+}
+
+// ---------------------------------------------------------------- wrapper
+
+TEST(Wrapper, CoverageExtremes) {
+  const recovery::WrappedMechanism never(
+      std::make_unique<recovery::ProcessPairs>(), 0.0, 123);
+  EXPECT_FALSE(never.covers_this_fault());
+  const recovery::WrappedMechanism always(
+      std::make_unique<recovery::ProcessPairs>(), 1.0, 123);
+  EXPECT_TRUE(always.covers_this_fault());
+}
+
+TEST(Wrapper, CoverageFractionOverPopulation) {
+  int covered = 0;
+  for (std::uint64_t salt = 0; salt < 1000; ++salt) {
+    recovery::WrappedMechanism w(std::make_unique<recovery::ProcessPairs>(),
+                                 0.6, salt);
+    if (w.covers_this_fault()) ++covered;
+  }
+  EXPECT_NEAR(covered / 1000.0, 0.6, 0.05);
+}
+
+TEST(Wrapper, CoveredWrapperSurvivesEiFault) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "apache-ei-01");
+  recovery::WrappedMechanism wrapped(
+      std::make_unique<recovery::ProcessPairs>(), 1.0,
+      util::fnv1a(seed.fault_id));
+  const auto outcome = run_seed(seed, wrapped);
+  EXPECT_TRUE(outcome.failure_observed);
+  EXPECT_TRUE(outcome.survived);
+}
+
+TEST(Wrapper, UncoveredWrapperDoesNot) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "apache-ei-01");
+  recovery::WrappedMechanism wrapped(
+      std::make_unique<recovery::ProcessPairs>(), 0.0,
+      util::fnv1a(seed.fault_id));
+  EXPECT_FALSE(run_seed(seed, wrapped).survived);
+}
+
+TEST(Wrapper, IsApplicationSpecific) {
+  recovery::WrappedMechanism w(std::make_unique<recovery::ProcessPairs>(),
+                               1.0, 1);
+  EXPECT_FALSE(w.is_generic());
+}
+
+// -------------------------------------------------------------- diversity
+
+TEST(NVersion, BuggyCountDeterministic) {
+  recovery::NVersionProgramming a(5, 0.3, 42);
+  recovery::NVersionProgramming b(5, 0.3, 42);
+  EXPECT_EQ(a.buggy_versions(), b.buggy_versions());
+  EXPECT_GE(a.buggy_versions(), 1);  // version 0 always buggy
+  EXPECT_LE(a.buggy_versions(), 5);
+}
+
+TEST(NVersion, IndependentVersionsHaveOnlyOneBug) {
+  recovery::NVersionProgramming nv(5, 0.0, 7);
+  EXPECT_EQ(nv.buggy_versions(), 1);
+  EXPECT_TRUE(nv.majority_healthy());
+}
+
+TEST(NVersion, FullCorrelationNeverHealthy) {
+  recovery::NVersionProgramming nv(5, 1.0, 7);
+  EXPECT_EQ(nv.buggy_versions(), 5);
+  EXPECT_FALSE(nv.majority_healthy());
+}
+
+TEST(NVersion, HealthyMajorityMasksEiFault) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "mysql-ei-04");
+  recovery::NVersionProgramming nv(3, 0.0, util::fnv1a(seed.fault_id));
+  ASSERT_TRUE(nv.majority_healthy());
+  EXPECT_TRUE(run_seed(seed, nv).survived);
+}
+
+TEST(NVersion, CannotConjureDiskSpace) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "apache-edn-05");  // full file system
+  recovery::NVersionProgramming nv(5, 0.0, util::fnv1a(seed.fault_id));
+  EXPECT_FALSE(run_seed(seed, nv).survived);
+}
+
+TEST(RecoveryBlocks, FirstHealthyAlternateFound) {
+  recovery::RecoveryBlocks rb(3, 0.0, 11);
+  EXPECT_EQ(rb.first_healthy_alternate(), 1);
+  recovery::RecoveryBlocks none(2, 1.0, 11);
+  EXPECT_EQ(none.first_healthy_alternate(), 0);
+}
+
+TEST(RecoveryBlocks, HealthyAlternateSurvivesEiFault) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "gnome-ei-02");
+  recovery::RecoveryBlocks rb(2, 0.0, util::fnv1a(seed.fault_id));
+  EXPECT_TRUE(run_seed(seed, rb).survived);
+}
+
+TEST(RecoveryBlocks, NoHealthyAlternateFails) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "gnome-ei-02");
+  recovery::RecoveryBlocks rb(2, 1.0, util::fnv1a(seed.fault_id));
+  EXPECT_FALSE(run_seed(seed, rb).survived);
+}
+
+// -------------------------------------------- scheduled rejuvenation
+
+TEST(Scheduled, ShortIntervalPreventsLeakFailure) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "apache-ei-05");  // leak, limit 12
+  recovery::ScheduledRejuvenation mech(4);
+  const auto outcome = run_seed(seed, mech);
+  EXPECT_TRUE(outcome.survived);
+  EXPECT_FALSE(outcome.failure_observed);  // prevented, not recovered
+  EXPECT_GT(mech.proactive_passes(), 0u);
+}
+
+TEST(Scheduled, LongIntervalFallsBackToReactive) {
+  const auto seeds = corpus::all_seeds();
+  const auto& seed = find_seed(seeds, "apache-ei-05");
+  recovery::ScheduledRejuvenation mech(1000);
+  const auto outcome = run_seed(seed, mech);
+  EXPECT_TRUE(outcome.failure_observed);
+  EXPECT_TRUE(outcome.survived);  // reactive rejuvenation still works
+  EXPECT_GT(outcome.recoveries, 0u);
+}
+
+TEST(Scheduled, IntervalZeroClamped) {
+  recovery::ScheduledRejuvenation mech(0);
+  EXPECT_EQ(mech.interval(), 1u);
+}
+
+// ------------------------------------------------------------ availability
+
+TEST(Availability, NoRecoveryBaseline) {
+  const auto r = stats::estimate_availability(stats::SurvivalProfile{});
+  EXPECT_LT(r.availability, 1.0);
+  EXPECT_GT(r.availability, 0.9);
+  EXPECT_EQ(r.masked_failures_per_day, 0.0);
+  EXPECT_GT(r.outages_per_day, 0.0);
+}
+
+TEST(Availability, PerfectRecoveryNearlyPerfectUptime) {
+  stats::SurvivalProfile perfect;
+  perfect.survival = {1.0, 1.0, 1.0};
+  const auto r = stats::estimate_availability(perfect);
+  EXPECT_GT(r.availability, 0.9999);
+  EXPECT_EQ(r.outages_per_day, 0.0);
+  EXPECT_TRUE(std::isinf(r.mtbf_hours));
+}
+
+TEST(Availability, MoreSurvivalMoreUptime) {
+  stats::SurvivalProfile generic;
+  generic.survival = {0.0, 0.0, 1.0};
+  stats::SurvivalProfile specific;
+  specific.survival = {1.0, 0.6, 1.0};
+  EXPECT_GT(stats::estimate_availability(specific).availability,
+            stats::estimate_availability(generic).availability);
+}
+
+TEST(Availability, DowntimeClampedToDay) {
+  stats::AvailabilityParams absurd;
+  absurd.faults_per_million_ops = {1e6, 0, 0};
+  const auto r =
+      stats::estimate_availability(stats::SurvivalProfile{}, absurd);
+  EXPECT_GE(r.availability, 0.0);
+}
+
+TEST(Availability, Nines) {
+  EXPECT_NEAR(stats::nines(0.999), 3.0, 1e-9);
+  EXPECT_NEAR(stats::nines(0.99), 2.0, 1e-9);
+  EXPECT_EQ(stats::nines(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(stats::nines(1.0)));
+}
+
+}  // namespace
+}  // namespace faultstudy

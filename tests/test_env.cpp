@@ -1,0 +1,374 @@
+// Unit tests for the simulated operating environment.
+#include <gtest/gtest.h>
+
+#include "env/environment.hpp"
+
+namespace faultstudy::env {
+namespace {
+
+// ---------------------------------------------------------- process table
+
+TEST(ProcessTable, SpawnUntilFull) {
+  ProcessTable pt(3);
+  EXPECT_TRUE(pt.spawn("a").has_value());
+  EXPECT_TRUE(pt.spawn("a").has_value());
+  EXPECT_TRUE(pt.spawn("b").has_value());
+  EXPECT_TRUE(pt.full());
+  EXPECT_FALSE(pt.spawn("a").has_value());
+  EXPECT_EQ(pt.available(), 0u);
+}
+
+TEST(ProcessTable, KillFreesSlot) {
+  ProcessTable pt(1);
+  const auto pid = pt.spawn("a");
+  ASSERT_TRUE(pid.has_value());
+  EXPECT_TRUE(pt.kill(*pid));
+  EXPECT_FALSE(pt.kill(*pid));  // already dead
+  EXPECT_TRUE(pt.spawn("b").has_value());
+}
+
+TEST(ProcessTable, KillOwnedBySweepsAllOfOwner) {
+  ProcessTable pt(10);
+  pt.spawn("apache");
+  pt.spawn("apache");
+  pt.spawn("mysqld");
+  EXPECT_EQ(pt.kill_owned_by("apache"), 2u);
+  EXPECT_EQ(pt.count_owned_by("apache"), 0u);
+  EXPECT_EQ(pt.count_owned_by("mysqld"), 1u);
+}
+
+TEST(ProcessTable, HungTracking) {
+  ProcessTable pt(4);
+  const auto p1 = pt.spawn("a");
+  pt.spawn("a");
+  EXPECT_TRUE(pt.mark_hung(*p1));
+  EXPECT_EQ(pt.count_hung_owned_by("a"), 1u);
+  EXPECT_FALSE(pt.mark_hung(9999));
+}
+
+TEST(ProcessTable, OwnedByLists) {
+  ProcessTable pt(4);
+  const auto p1 = pt.spawn("x");
+  pt.spawn("y");
+  const auto owned = pt.owned_by("x");
+  ASSERT_EQ(owned.size(), 1u);
+  EXPECT_EQ(owned[0], *p1);
+  EXPECT_NE(pt.find(*p1), nullptr);
+}
+
+// -------------------------------------------------------------- fd table
+
+TEST(FdTable, AcquireRelease) {
+  FdTable fds(10);
+  EXPECT_TRUE(fds.acquire("a", 6));
+  EXPECT_EQ(fds.held_by("a"), 6u);
+  EXPECT_EQ(fds.available(), 4u);
+  EXPECT_FALSE(fds.acquire("b", 5));  // only 4 left, all-or-nothing
+  EXPECT_EQ(fds.used(), 6u);
+  fds.release("a", 2);
+  EXPECT_EQ(fds.held_by("a"), 4u);
+  EXPECT_TRUE(fds.acquire("b", 5));
+}
+
+TEST(FdTable, ReleaseMoreThanHeldClamps) {
+  FdTable fds(10);
+  fds.acquire("a", 3);
+  fds.release("a", 100);
+  EXPECT_EQ(fds.held_by("a"), 0u);
+  EXPECT_EQ(fds.used(), 0u);
+}
+
+TEST(FdTable, ReleaseAll) {
+  FdTable fds(10);
+  fds.acquire("a", 3);
+  fds.acquire("b", 2);
+  EXPECT_EQ(fds.release_all("a"), 3u);
+  EXPECT_EQ(fds.release_all("a"), 0u);
+  EXPECT_EQ(fds.used(), 2u);
+}
+
+// ------------------------------------------------------------------ disk
+
+TEST(Disk, AppendAndStat) {
+  Disk disk(1000, 500);
+  EXPECT_EQ(disk.append("/f", 100), Disk::WriteResult::kOk);
+  EXPECT_EQ(disk.append("/f", 100), Disk::WriteResult::kOk);
+  const auto info = disk.stat("/f");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->size, 200u);
+  EXPECT_EQ(disk.used(), 200u);
+  EXPECT_FALSE(disk.stat("/missing").has_value());
+}
+
+TEST(Disk, FileSizeLimitEnforced) {
+  Disk disk(10000, 300);
+  EXPECT_EQ(disk.append("/log", 250), Disk::WriteResult::kOk);
+  EXPECT_EQ(disk.append("/log", 100), Disk::WriteResult::kFileTooBig);
+  EXPECT_EQ(disk.stat("/log")->size, 250u);  // failed write not applied
+}
+
+TEST(Disk, FullFileSystem) {
+  Disk disk(100, 1000);
+  EXPECT_EQ(disk.append("/a", 100), Disk::WriteResult::kOk);
+  EXPECT_TRUE(disk.full());
+  EXPECT_EQ(disk.append("/b", 1), Disk::WriteResult::kNoSpace);
+}
+
+TEST(Disk, TruncateReclaims) {
+  Disk disk(100, 100);
+  disk.append("/a", 80);
+  disk.truncate("/a");
+  EXPECT_EQ(disk.used(), 0u);
+  EXPECT_EQ(disk.stat("/a")->size, 0u);
+  disk.truncate("/missing");  // no-op
+}
+
+TEST(Disk, RemoveReclaims) {
+  Disk disk(100, 100);
+  disk.append("/a", 50);
+  disk.remove("/a");
+  EXPECT_FALSE(disk.stat("/a").has_value());
+  EXPECT_EQ(disk.free_space(), 100u);
+}
+
+TEST(Disk, ConsumeExternal) {
+  Disk disk(1000, 1000);
+  disk.append("/mine", 100);
+  disk.consume_external(900);
+  EXPECT_EQ(disk.used(), 900u);
+  disk.consume_external(500);  // already beyond; no shrink
+  EXPECT_EQ(disk.used(), 900u);
+}
+
+TEST(Disk, PrefixQueries) {
+  Disk disk(1000, 1000);
+  disk.append("/cache/a", 10);
+  disk.append("/cache/b", 20);
+  disk.append("/log", 5);
+  EXPECT_EQ(disk.used_under("/cache"), 30u);
+  EXPECT_EQ(disk.list_prefix("/cache").size(), 2u);
+  EXPECT_EQ(disk.used_under("/none"), 0u);
+}
+
+TEST(Disk, OwnerMetadata) {
+  Disk disk(100, 100);
+  disk.append("/f", 1);
+  disk.set_owner("/f", -1);
+  EXPECT_EQ(disk.stat("/f")->owner_uid, -1);
+}
+
+// ------------------------------------------------------------------- dns
+
+TEST(Dns, HealthyByDefault) {
+  DnsServer dns;
+  const auto reply = dns.resolve("host", 0);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.latency, DnsServer::kNormalLatency);
+}
+
+TEST(Dns, ErrorStateHealsAtDeadline) {
+  DnsServer dns;
+  dns.break_until(DnsHealth::kErroring, 100);
+  EXPECT_FALSE(dns.resolve("host", 50).ok);
+  EXPECT_TRUE(dns.resolve("host", 100).ok);  // deadline reached -> healed
+  EXPECT_TRUE(dns.resolve("host", 500).ok);
+}
+
+TEST(Dns, SlowStateHasHighLatency) {
+  DnsServer dns;
+  dns.break_until(DnsHealth::kSlow, 100);
+  const auto reply = dns.resolve("host", 10);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.latency, DnsServer::kSlowLatency);
+  EXPECT_EQ(dns.resolve("host", 200).latency, DnsServer::kNormalLatency);
+}
+
+TEST(Dns, ReverseNeedsConfiguredRecord) {
+  DnsServer dns;
+  EXPECT_FALSE(dns.reverse("10.0.0.9", 0).ok);
+  dns.configure_reverse("10.0.0.9");
+  EXPECT_TRUE(dns.reverse("10.0.0.9", 0).ok);
+  dns.remove_reverse("10.0.0.9");
+  EXPECT_FALSE(dns.reverse("10.0.0.9", 0).ok);
+}
+
+// --------------------------------------------------------------- network
+
+TEST(Network, LinkDegradationExpires) {
+  Network net;
+  EXPECT_EQ(net.link(0), LinkState::kNormal);
+  net.degrade_until(LinkState::kSlow, 50);
+  EXPECT_EQ(net.link(10), LinkState::kSlow);
+  EXPECT_EQ(net.link(50), LinkState::kNormal);
+}
+
+TEST(Network, CardRemoval) {
+  Network net;
+  EXPECT_TRUE(net.card_present());
+  net.remove_card();
+  EXPECT_FALSE(net.card_present());
+  net.insert_card();
+  EXPECT_TRUE(net.card_present());
+}
+
+TEST(Network, PortOwnership) {
+  Network net;
+  EXPECT_TRUE(net.bind_port(80, "apache"));
+  EXPECT_FALSE(net.bind_port(80, "other"));
+  EXPECT_EQ(net.port_owner(80), "apache");
+  net.release_port(80, "other");  // wrong owner: no-op
+  EXPECT_TRUE(net.port_bound(80));
+  net.release_port(80, "apache");
+  EXPECT_FALSE(net.port_bound(80));
+}
+
+TEST(Network, ReleasePortsOfOwner) {
+  Network net;
+  net.bind_port(80, "apache");
+  net.bind_port(8080, "apache-child");
+  net.bind_port(3306, "mysqld");
+  EXPECT_EQ(net.release_ports_of("apache-child"), 1u);
+  EXPECT_FALSE(net.port_bound(8080));
+  EXPECT_TRUE(net.port_bound(3306));
+}
+
+TEST(Network, KernelResourceExhaustion) {
+  Network net;
+  net.set_kernel_resource(3);
+  EXPECT_TRUE(net.consume_kernel_resource(2));
+  EXPECT_FALSE(net.consume_kernel_resource(2));
+  EXPECT_TRUE(net.consume_kernel_resource(1));
+  EXPECT_EQ(net.kernel_resource_available(), 0u);
+}
+
+// --------------------------------------------------------------- entropy
+
+TEST(Entropy, TakeAndRefill) {
+  EntropyPool pool(100, 10);
+  EXPECT_TRUE(pool.take(100, 0));
+  EXPECT_FALSE(pool.take(1, 0));
+  // 20 ticks later: 200 bits refilled.
+  EXPECT_TRUE(pool.take(200, 20));
+}
+
+TEST(Entropy, DrainArmsShortage) {
+  EntropyPool pool(4096, 4);
+  pool.drain_to(0, 0);
+  EXPECT_FALSE(pool.take(256, 10));  // only 40 bits refilled
+  EXPECT_TRUE(pool.take(256, 100));  // 400 bits by now
+}
+
+TEST(Entropy, PoolCapped) {
+  EntropyPool pool(0, 1000);
+  EXPECT_EQ(pool.bits(1000000), 4096u);
+}
+
+// --------------------------------------------------------------- signals
+
+TEST(Signals, DeliverDueConsumes) {
+  SignalBus bus;
+  bus.raise(Signal::kHup, 10);
+  bus.raise(Signal::kTerm, 20);
+  EXPECT_TRUE(bus.deliver_due(5).empty());
+  const auto due = bus.deliver_due(15);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], Signal::kHup);
+  EXPECT_EQ(bus.pending(), 1u);
+  EXPECT_EQ(bus.deliver_due(100).size(), 1u);
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+// ------------------------------------------------------------- scheduler
+
+TEST(Scheduler, DrawDeterministicPerSeed) {
+  Scheduler a(5), b(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.draw().raw, b.draw().raw);
+  }
+}
+
+TEST(Scheduler, PhaseInUnitInterval) {
+  Scheduler s(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = s.draw();
+    EXPECT_GE(d.phase, 0.0);
+    EXPECT_LT(d.phase, 1.0);
+  }
+}
+
+TEST(Scheduler, HazardWindowBasic) {
+  Interleaving i;
+  i.phase = 0.45;
+  EXPECT_TRUE(Scheduler::in_hazard_window(i, 0.4, 0.1));
+  EXPECT_FALSE(Scheduler::in_hazard_window(i, 0.5, 0.1));
+  i.phase = 0.5;  // end-exclusive
+  EXPECT_FALSE(Scheduler::in_hazard_window(i, 0.4, 0.1));
+}
+
+TEST(Scheduler, HazardWindowWraps) {
+  Interleaving lo, hi;
+  lo.phase = 0.02;
+  hi.phase = 0.97;
+  EXPECT_TRUE(Scheduler::in_hazard_window(lo, 0.95, 0.1));
+  EXPECT_TRUE(Scheduler::in_hazard_window(hi, 0.95, 0.1));
+  Interleaving mid;
+  mid.phase = 0.5;
+  EXPECT_FALSE(Scheduler::in_hazard_window(mid, 0.95, 0.1));
+}
+
+TEST(Scheduler, ReplayBiasReproducesLastDraw) {
+  Scheduler s(7);
+  s.set_replay_bias(1.0);
+  const auto first = s.draw();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(s.draw().raw, first.raw);
+  }
+  s.set_replay_bias(0.0);
+  EXPECT_NE(s.draw().raw, first.raw);
+}
+
+TEST(Scheduler, PartialBiasMixes) {
+  Scheduler s(8);
+  s.set_replay_bias(0.5);
+  const auto first = s.draw();
+  int repeats = 0;
+  // Count immediate repeats of the previous draw.
+  auto prev = first;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = s.draw();
+    if (d.raw == prev.raw) ++repeats;
+    prev = d;
+  }
+  EXPECT_NEAR(repeats / 2000.0, 0.5, 0.06);
+}
+
+// ------------------------------------------------------------ environment
+
+TEST(Environment, ConfigApplied) {
+  EnvironmentConfig config;
+  config.process_slots = 5;
+  config.fd_slots = 17;
+  config.disk_capacity = 12345;
+  Environment e(config);
+  EXPECT_EQ(e.processes().capacity(), 5u);
+  EXPECT_EQ(e.fds().capacity(), 17u);
+  EXPECT_EQ(e.disk().capacity(), 12345u);
+}
+
+TEST(Environment, ClockAdvances) {
+  Environment e;
+  EXPECT_EQ(e.now(), 0);
+  e.advance(10);
+  e.advance(-5);  // negative advance ignored
+  EXPECT_EQ(e.now(), 10);
+}
+
+TEST(Environment, Hostname) {
+  Environment e;
+  EXPECT_EQ(e.hostname(), "production-host");
+  e.set_hostname("renamed");
+  EXPECT_EQ(e.hostname(), "renamed");
+}
+
+}  // namespace
+}  // namespace faultstudy::env

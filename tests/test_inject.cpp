@@ -1,0 +1,142 @@
+// Tests for the injection plans: every seed fault must yield a plan that
+// actually makes its trigger condition reachable.
+#include <gtest/gtest.h>
+
+#include "corpus/seeds.hpp"
+#include "inject/specimen.hpp"
+
+namespace faultstudy::inject {
+namespace {
+
+corpus::SeedFault seed_with(core::Trigger trigger,
+                            core::AppId app = core::AppId::kApache) {
+  corpus::SeedFault s;
+  s.fault_id = "test-seed";
+  s.app = app;
+  s.trigger = trigger;
+  s.symptom = core::Symptom::kCrash;
+  return s;
+}
+
+TEST(MakeApp, RightTypePerApp) {
+  EXPECT_EQ(make_app(core::AppId::kApache)->id(), core::AppId::kApache);
+  EXPECT_EQ(make_app(core::AppId::kGnome)->id(), core::AppId::kGnome);
+  EXPECT_EQ(make_app(core::AppId::kMysql)->id(), core::AppId::kMysql);
+  EXPECT_EQ(make_app(core::AppId::kApache)->name(), "apache");
+}
+
+TEST(PlanFor, EverySeedProducesRunnablePlan) {
+  for (const auto& seed : corpus::all_seeds()) {
+    const auto plan = plan_for(seed, 7);
+    EXPECT_EQ(plan.fault.trigger, seed.trigger) << seed.fault_id;
+    EXPECT_EQ(plan.fault.symptom, seed.symptom) << seed.fault_id;
+    ASSERT_TRUE(plan.arm_environment != nullptr) << seed.fault_id;
+
+    env::Environment e(plan.env_config);
+    auto app = make_app(seed.app);
+    app->arm_fault(plan.fault);
+    ASSERT_TRUE(app->start(e)) << seed.fault_id << ": app must start";
+    plan.arm_environment(e, *app);  // must not crash
+  }
+}
+
+TEST(PlanFor, HardwareRemovalRemovesCard) {
+  const auto plan = plan_for(seed_with(core::Trigger::kHardwareRemoval), 1);
+  env::Environment e(plan.env_config);
+  auto app = make_app(core::AppId::kApache);
+  app->start(e);
+  EXPECT_TRUE(e.network().card_present());
+  plan.arm_environment(e, *app);
+  EXPECT_FALSE(e.network().card_present());
+}
+
+TEST(PlanFor, FullFileSystemLeavesNoSpace) {
+  const auto plan = plan_for(seed_with(core::Trigger::kFullFileSystem), 1);
+  env::Environment e(plan.env_config);
+  auto app = make_app(core::AppId::kApache);
+  app->start(e);
+  plan.arm_environment(e, *app);
+  EXPECT_EQ(e.disk().free_space(), 0u);
+}
+
+TEST(PlanFor, HostnameChangeHappensAfterStart) {
+  const auto plan = plan_for(seed_with(core::Trigger::kHostnameChanged,
+                                       core::AppId::kGnome), 1);
+  env::Environment e(plan.env_config);
+  auto app = make_app(core::AppId::kGnome);
+  app->start(e);
+  const auto before = e.hostname();
+  plan.arm_environment(e, *app);
+  EXPECT_NE(e.hostname(), before);
+}
+
+TEST(PlanFor, ExternalSocketLeakStarvesTable) {
+  const auto plan = plan_for(seed_with(core::Trigger::kExternalSocketLeak,
+                                       core::AppId::kGnome), 1);
+  env::Environment e(plan.env_config);
+  auto app = make_app(core::AppId::kGnome);
+  app->start(e);
+  plan.arm_environment(e, *app);
+  EXPECT_EQ(e.fds().available(), 0u);
+  EXPECT_GT(e.fds().held_by("sound-utilities"), 0u);
+}
+
+TEST(PlanFor, PortsHeldArmsHungChildren) {
+  const auto plan = plan_for(seed_with(core::Trigger::kPortsHeldByChildren), 1);
+  env::Environment e(plan.env_config);
+  auto app = make_app(core::AppId::kApache);
+  app->start(e);
+  plan.arm_environment(e, *app);
+  EXPECT_TRUE(e.network().port_bound(kAuxPort));
+  EXPECT_EQ(e.network().port_owner(kAuxPort), "apache-child");
+  EXPECT_EQ(e.processes().count_hung_owned_by("apache-child"), 2u);
+}
+
+TEST(PlanFor, DnsErrorHealsEventually) {
+  const auto plan = plan_for(seed_with(core::Trigger::kDnsError), 1);
+  env::Environment e(plan.env_config);
+  auto app = make_app(core::AppId::kApache);
+  app->start(e);
+  plan.arm_environment(e, *app);
+  EXPECT_FALSE(e.dns().resolve("host", e.now()).ok);
+  e.advance(10000);
+  EXPECT_TRUE(e.dns().resolve("host", e.now()).ok);
+}
+
+TEST(PlanFor, FdExhaustionShrinksTable) {
+  const auto plan = plan_for(seed_with(core::Trigger::kFdExhaustion), 1);
+  EXPECT_LT(plan.env_config.fd_slots, env::EnvironmentConfig{}.fd_slots);
+}
+
+TEST(PlanFor, ProcessTableShrunk) {
+  const auto plan = plan_for(seed_with(core::Trigger::kProcessTableFull), 1);
+  EXPECT_LT(plan.env_config.process_slots,
+            env::EnvironmentConfig{}.process_slots);
+}
+
+TEST(PlanFor, EiTriggersKeepPoisonItem) {
+  const auto plan = plan_for(seed_with(core::Trigger::kBoundaryInput), 1);
+  EXPECT_GE(plan.workload.poison_at, 0);
+  const auto edn = plan_for(seed_with(core::Trigger::kFullFileSystem), 1);
+  EXPECT_LT(edn.workload.poison_at, 0);
+}
+
+TEST(PlanFor, CorruptMetadataPlantsBadFile) {
+  const auto plan = plan_for(seed_with(core::Trigger::kCorruptFileMetadata,
+                                       core::AppId::kGnome), 1);
+  env::Environment e(plan.env_config);
+  auto app = make_app(core::AppId::kGnome);
+  app->start(e);
+  plan.arm_environment(e, *app);
+  const auto info = e.disk().stat("/home/user/attachment.dat");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_LT(info->owner_uid, 0);
+}
+
+TEST(ChildOwner, DerivedFromAppName) {
+  auto app = make_app(core::AppId::kMysql);
+  EXPECT_EQ(child_owner(*app), "mysqld-child");
+}
+
+}  // namespace
+}  // namespace faultstudy::inject

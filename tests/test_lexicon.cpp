@@ -1,0 +1,148 @@
+// Data-quality tests for the cue lexicon and the curated seed texts: the
+// lexicon must reach every environment-dependent trigger, and every seed's
+// text must carry evidence consistent with its planted class — the
+// invariants that make the Tables 1-3 reproduction an honest exercise of
+// the classifier rather than a coincidence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/rule_classifier.hpp"
+#include "corpus/seeds.hpp"
+
+namespace faultstudy::core {
+namespace {
+
+/// Classifies a synthetic one-line report containing only the trigger's
+/// canonical phrase, per trigger that has an unambiguous cue.
+TEST(Lexicon, CanonicalPhrasesReachTheirTriggers) {
+  const RuleClassifier classifier;
+  const std::map<Trigger, std::string> canonical = {
+      {Trigger::kFdExhaustion, "out of file descriptors"},
+      {Trigger::kFullFileSystem, "no space left on device"},
+      {Trigger::kFileSizeLimit, "maximum allowed file size"},
+      {Trigger::kDiskCacheFull, "cannot store any more temporary files"},
+      {Trigger::kHardwareRemoval, "pcmcia card is removed"},
+      {Trigger::kHostnameChanged, "hostname of the machine was changed"},
+      {Trigger::kExternalSocketLeak, "open sockets left around"},
+      {Trigger::kCorruptFileMetadata, "illegal value in the owner field"},
+      {Trigger::kReverseDnsMissing, "reverse dns is not configured"},
+      {Trigger::kDnsError, "call to domain name service returns an error"},
+      {Trigger::kProcessTableFull, "slots in the process table"},
+      {Trigger::kWorkloadTiming, "presses stop on the browser"},
+      {Trigger::kPortsHeldByChildren, "address already in use"},
+      {Trigger::kDnsSlow, "slow domain name service"},
+      {Trigger::kNetworkSlow, "slow network connection"},
+      {Trigger::kEntropyShortage, "/dev/random"},
+      {Trigger::kRaceCondition, "race condition"},
+      {Trigger::kUnknownTransient, "works on a retry"},
+      {Trigger::kBoundaryInput, "buffer overflow"},
+      {Trigger::kMissingInitialization, "missing initialization"},
+      {Trigger::kApiMisuse, "va_list"},
+      {Trigger::kDeterministicLeak, "memory leak"},
+  };
+  for (const auto& [trigger, phrase] : canonical) {
+    ReportText text;
+    text.how_to_repeat = phrase;
+    const auto result = classifier.classify(text);
+    EXPECT_EQ(result.trigger, trigger) << phrase;
+  }
+}
+
+TEST(Lexicon, EveryEnvDependentTriggerReachable) {
+  // Over the full seed set, every environment-dependent trigger must be
+  // produced at least once by the classifier (EI triggers may fall back to
+  // the default when a seed has no mechanism cue — that is by design).
+  const RuleClassifier classifier;
+  std::set<Trigger> produced;
+  for (const auto& seed : corpus::all_seeds()) {
+    ReportText text;
+    text.title = seed.title;
+    text.how_to_repeat = seed.how_to_repeat;
+    text.developer_comments = seed.developer_comment;
+    produced.insert(classifier.classify(text).trigger);
+  }
+  // Triggers sharing report vocabulary are checked as groups: a report
+  // about "sockets left open exhausting descriptors" legitimately lands on
+  // either member, and the class is identical within each group.
+  const std::set<Trigger> grouped = {
+      Trigger::kNetworkResourceExhausted, Trigger::kResourceLeakUnderLoad,
+      Trigger::kFdExhaustion, Trigger::kExternalSocketLeak};
+  for (Trigger t : all_triggers()) {
+    if (fault_class_of(t) == FaultClass::kEnvironmentIndependent) continue;
+    if (grouped.contains(t)) continue;
+    EXPECT_TRUE(produced.contains(t)) << to_string(t);
+  }
+  EXPECT_TRUE(produced.contains(Trigger::kNetworkResourceExhausted) ||
+              produced.contains(Trigger::kResourceLeakUnderLoad));
+  EXPECT_TRUE(produced.contains(Trigger::kFdExhaustion) ||
+              produced.contains(Trigger::kExternalSocketLeak));
+}
+
+TEST(SeedTexts, EnvDependentSeedsCarryStrongEvidence) {
+  // Every environment-dependent seed must classify with positive
+  // confidence (cue evidence present), not by the EI default.
+  const RuleClassifier classifier;
+  for (const auto& seed : corpus::all_seeds()) {
+    if (corpus::seed_class(seed) == FaultClass::kEnvironmentIndependent) {
+      continue;
+    }
+    ReportText text;
+    text.title = seed.title;
+    text.how_to_repeat = seed.how_to_repeat;
+    text.developer_comments = seed.developer_comment;
+    const auto result = classifier.classify(text);
+    EXPECT_GT(result.confidence, 0.0) << seed.fault_id;
+    EXPECT_FALSE(result.evidence.empty()) << seed.fault_id;
+  }
+}
+
+TEST(SeedTexts, EiSeedsNeverDominatedByEnvDependentCues) {
+  // An EI seed's text may brush against environment vocabulary, but the
+  // winning trigger must stay environment-independent.
+  const RuleClassifier classifier;
+  for (const auto& seed : corpus::all_seeds()) {
+    if (corpus::seed_class(seed) != FaultClass::kEnvironmentIndependent) {
+      continue;
+    }
+    ReportText text;
+    text.title = seed.title;
+    text.how_to_repeat = seed.how_to_repeat;
+    text.developer_comments = seed.developer_comment;
+    const auto result = classifier.classify(text);
+    EXPECT_EQ(result.fault_class, FaultClass::kEnvironmentIndependent)
+        << seed.fault_id << " won by "
+        << to_string(result.trigger);
+  }
+}
+
+TEST(SeedTexts, DescribedBugsKeepTheirPaperTriggers) {
+  // The paper names the mechanism for its described bugs; the classifier
+  // must agree at trigger granularity for the distinctive ones.
+  const RuleClassifier classifier;
+  // apache-ei-03 (va_list misuse, triggered by a nonexistent URL) carries
+  // cues for both kApiMisuse and kBoundaryInput — both EI — so it is not
+  // listed at trigger granularity.
+  const std::map<std::string, Trigger> expectations = {
+      {"apache-ei-01", Trigger::kBoundaryInput},
+      {"apache-ei-05", Trigger::kDeterministicLeak},
+      {"apache-edn-05", Trigger::kFullFileSystem},
+      {"apache-edt-07", Trigger::kEntropyShortage},
+      {"gnome-edn-03", Trigger::kCorruptFileMetadata},
+      {"mysql-edn-02", Trigger::kReverseDnsMissing},
+      {"mysql-edt-01", Trigger::kRaceCondition},
+  };
+  for (const auto& seed : corpus::all_seeds()) {
+    const auto it = expectations.find(seed.fault_id);
+    if (it == expectations.end()) continue;
+    ReportText text;
+    text.title = seed.title;
+    text.how_to_repeat = seed.how_to_repeat;
+    text.developer_comments = seed.developer_comment;
+    EXPECT_EQ(classifier.classify(text).trigger, it->second) << seed.fault_id;
+  }
+}
+
+}  // namespace
+}  // namespace faultstudy::core

@@ -1,0 +1,74 @@
+// End-to-end tests: the mining pipeline over the synthetic corpora must
+// reproduce the paper's Tables 1-3 exactly — 50/45/44 unique bugs with class
+// splits 36/7/7, 39/3/3, 38/4/2 — because the corpora plant exactly those
+// faults and the pipeline must neither lose, split, nor misclassify them.
+#include <gtest/gtest.h>
+
+#include "core/aggregate.hpp"
+#include "corpus/seeds.hpp"
+#include "corpus/synth.hpp"
+#include "mining/pipeline.hpp"
+
+namespace faultstudy {
+namespace {
+
+using core::FaultClass;
+
+core::ClassCounts mined_counts(const mining::PipelineResult& result) {
+  const auto faults = mining::to_faults(result);
+  return core::tally(faults);
+}
+
+TEST(PipelineApache, ReproducesTable1) {
+  const auto tracker = corpus::make_apache_tracker();
+  EXPECT_EQ(tracker.size(), 5220u);
+  EXPECT_EQ(tracker.distinct_faults(), 50u);
+
+  const auto result = mining::run_tracker_pipeline(tracker);
+  EXPECT_EQ(result.bugs.size(), 50u) << "dedup produced wrong unique count";
+
+  const auto counts = mined_counts(result);
+  EXPECT_EQ(counts[FaultClass::kEnvironmentIndependent], 36u);
+  EXPECT_EQ(counts[FaultClass::kEnvDependentNonTransient], 7u);
+  EXPECT_EQ(counts[FaultClass::kEnvDependentTransient], 7u);
+}
+
+TEST(PipelineGnome, ReproducesTable2) {
+  const auto tracker = corpus::make_gnome_tracker();
+  EXPECT_EQ(tracker.size(), 500u);
+  EXPECT_EQ(tracker.distinct_faults(), 45u);
+
+  const auto result = mining::run_tracker_pipeline(tracker);
+  EXPECT_EQ(result.bugs.size(), 45u);
+
+  const auto counts = mined_counts(result);
+  EXPECT_EQ(counts[FaultClass::kEnvironmentIndependent], 39u);
+  EXPECT_EQ(counts[FaultClass::kEnvDependentNonTransient], 3u);
+  EXPECT_EQ(counts[FaultClass::kEnvDependentTransient], 3u);
+}
+
+TEST(PipelineMysql, ReproducesTable3) {
+  const auto list = corpus::make_mysql_list();
+  EXPECT_EQ(list.size(), 44000u);
+  EXPECT_EQ(list.distinct_faults(), 44u);
+
+  const auto result = mining::run_mailinglist_pipeline(list);
+  EXPECT_EQ(result.bugs.size(), 44u);
+
+  const auto counts = mined_counts(result);
+  EXPECT_EQ(counts[FaultClass::kEnvironmentIndependent], 38u);
+  EXPECT_EQ(counts[FaultClass::kEnvDependentNonTransient], 4u);
+  EXPECT_EQ(counts[FaultClass::kEnvDependentTransient], 2u);
+}
+
+TEST(PipelineApache, EveryBugMatchesItsPlantedClass) {
+  const auto result = mining::run_tracker_pipeline(corpus::make_apache_tracker());
+  for (const auto& bug : result.bugs) {
+    ASSERT_TRUE(bug.truth_class.has_value()) << bug.title;
+    EXPECT_EQ(bug.classification.fault_class, *bug.truth_class)
+        << bug.title << " trigger=" << core::to_string(bug.classification.trigger);
+  }
+}
+
+}  // namespace
+}  // namespace faultstudy

@@ -1,0 +1,223 @@
+// Tests for the recovery mechanisms: state preservation semantics, the
+// environment sweep, checkpoint cadence and rewind, rejuvenation and the
+// app-specific wrapper.
+#include <gtest/gtest.h>
+
+#include "apps/webserver.hpp"
+#include "inject/specimen.hpp"
+#include "recovery/app_specific.hpp"
+#include "recovery/perturbation.hpp"
+#include "recovery/process_pairs.hpp"
+#include "recovery/progressive.hpp"
+#include "recovery/rejuvenation.hpp"
+#include "recovery/restart.hpp"
+#include "recovery/rollback.hpp"
+
+namespace faultstudy::recovery {
+namespace {
+
+using apps::WebServer;
+using apps::WorkItem;
+
+WorkItem item(int id) {
+  WorkItem w;
+  w.id = id;
+  w.op = "GET /";
+  return w;
+}
+
+TEST(MechanismProperties, GenericAndStateFlags) {
+  EXPECT_TRUE(ProcessPairs().is_generic());
+  EXPECT_TRUE(ProcessPairs().preserves_state());
+  EXPECT_TRUE(RollbackRetry().is_generic());
+  EXPECT_TRUE(ProgressiveRetry().is_generic());
+  EXPECT_TRUE(ColdRestart().is_generic());
+  EXPECT_FALSE(ColdRestart().preserves_state());
+  EXPECT_FALSE(Rejuvenation().is_generic());
+  EXPECT_FALSE(AppSpecific().is_generic());
+}
+
+TEST(Sweep, KillsAppAndChildrenAndFreesPorts) {
+  env::Environment e;
+  WebServer server;
+  ASSERT_TRUE(server.start(e));
+  // Hung children under the child owner, squatting on a port.
+  const auto pid = e.processes().spawn("apache-child");
+  ASSERT_TRUE(pid.has_value());
+  e.network().bind_port(8080, "apache-child");
+
+  sweep_application(server, e);
+  EXPECT_EQ(e.processes().count_owned_by("apache"), 0u);
+  EXPECT_EQ(e.processes().count_owned_by("apache-child"), 0u);
+  EXPECT_FALSE(e.network().port_bound(8080));
+  EXPECT_FALSE(e.network().port_bound(80));
+}
+
+TEST(ProcessPairsMech, RestoresLastCompletedOperation) {
+  env::Environment e;
+  WebServer server;
+  ASSERT_TRUE(server.start(e));
+  ProcessPairs pp;
+  pp.attach(server, e);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_FALSE(apps::is_failure(server.handle(item(i), e)));
+    pp.on_item_success(server, e);
+  }
+  // Simulate a crash: the app is down; the backup takes over.
+  server.stop(e);
+  const auto action = pp.recover(server, e);
+  EXPECT_TRUE(action.recovered);
+  EXPECT_EQ(action.rewind_items, 0u);
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(server.requests_served(), 4u);  // state preserved
+}
+
+TEST(ProcessPairsMech, RecoveryAdvancesTime) {
+  env::Environment e;
+  WebServer server;
+  ASSERT_TRUE(server.start(e));
+  ProcessPairs pp;
+  pp.attach(server, e);
+  const auto before = e.now();
+  pp.recover(server, e);
+  EXPECT_EQ(e.now(), before + RecoveryCosts::kProcessPairs);
+}
+
+TEST(RollbackMech, CheckpointCadenceAndRewind) {
+  env::Environment e;
+  WebServer server;
+  ASSERT_TRUE(server.start(e));
+  RollbackRetry rb(/*checkpoint_interval=*/3);
+  rb.attach(server, e);
+
+  // 4 successes: checkpoint taken after item 3 (cadence 3), one item since.
+  for (int i = 0; i < 4; ++i) {
+    server.handle(item(i), e);
+    rb.on_item_success(server, e);
+  }
+  const auto action = rb.recover(server, e);
+  EXPECT_TRUE(action.recovered);
+  EXPECT_EQ(action.rewind_items, 1u);
+  EXPECT_EQ(server.requests_served(), 3u);  // rolled back to checkpoint
+}
+
+TEST(RollbackMech, ZeroIntervalClampedToOne) {
+  RollbackRetry rb(0);
+  EXPECT_EQ(rb.checkpoint_interval(), 1u);
+}
+
+TEST(RollbackMech, SetsReplayBias) {
+  env::Environment e;
+  WebServer server;
+  server.start(e);
+  RollbackRetry rb;
+  rb.attach(server, e);
+  EXPECT_DOUBLE_EQ(e.scheduler().replay_bias(), ReplayBias::kRollbackRetry);
+  ProgressiveRetry pr;
+  pr.attach(server, e);
+  EXPECT_DOUBLE_EQ(e.scheduler().replay_bias(), ReplayBias::kProgressiveRetry);
+}
+
+TEST(ColdRestartMech, LosesStateButRuns) {
+  env::Environment e;
+  WebServer server;
+  ASSERT_TRUE(server.start(e));
+  ColdRestart restart;
+  restart.attach(server, e);
+  for (int i = 0; i < 4; ++i) server.handle(item(i), e);
+  EXPECT_EQ(server.requests_served(), 4u);
+
+  const auto action = restart.recover(server, e);
+  EXPECT_TRUE(action.recovered);
+  EXPECT_EQ(server.requests_served(), 0u);  // state gone
+  EXPECT_TRUE(server.running());
+}
+
+TEST(ColdRestartMech, RereadsEnvironmentFacts) {
+  env::Environment e;
+  WebServer server;
+  apps::ActiveFault fault;
+  fault.trigger = core::Trigger::kHostnameChanged;
+  fault.symptom = core::Symptom::kErrorReturn;
+  server.arm_fault(fault);
+  ASSERT_TRUE(server.start(e));
+  e.set_hostname("renamed");
+  EXPECT_TRUE(apps::is_failure(server.handle(item(0), e)));
+
+  ColdRestart restart;
+  restart.attach(server, e);
+  ASSERT_TRUE(restart.recover(server, e).recovered);
+  // The restarted server cached the new hostname: the fault is gone.
+  EXPECT_FALSE(apps::is_failure(server.handle(item(1), e)));
+}
+
+TEST(RejuvenationMech, ClearsLeaksKeepsState) {
+  env::Environment e;
+  WebServer server;
+  apps::ActiveFault fault;
+  fault.trigger = core::Trigger::kDeterministicLeak;
+  fault.symptom = core::Symptom::kCrash;
+  fault.leak_limit = 100;
+  server.arm_fault(fault);
+  ASSERT_TRUE(server.start(e));
+  for (int i = 0; i < 5; ++i) server.handle(item(i), e);
+  EXPECT_EQ(server.leaked_units(), 5u);
+
+  Rejuvenation rejuv;
+  rejuv.attach(server, e);
+  ASSERT_TRUE(rejuv.recover(server, e).recovered);
+  EXPECT_EQ(server.leaked_units(), 0u);
+  EXPECT_EQ(server.requests_served(), 5u);  // long-lived state kept
+}
+
+TEST(AppSpecificMech, SanitizesExactlyOneRetry) {
+  AppSpecific as;
+  env::Environment e;
+  WebServer server;
+  ASSERT_TRUE(server.start(e));
+  as.attach(server, e);
+  as.recover(server, e);
+
+  WorkItem poison = item(0);
+  poison.poison = true;
+  as.prepare_retry(poison);
+  EXPECT_FALSE(poison.poison);  // wrapper rejected the killer input
+
+  WorkItem next = item(1);
+  next.poison = true;
+  as.prepare_retry(next);
+  EXPECT_TRUE(next.poison);  // sanitization applies to one retry only
+}
+
+TEST(AppSpecificMech, GenericMechanismsNeverSanitize) {
+  ProcessPairs pp;
+  WorkItem poison = item(0);
+  poison.poison = true;
+  pp.prepare_retry(poison);
+  EXPECT_TRUE(poison.poison);
+}
+
+TEST(AppRecoverable, ExternalConditionsExcluded) {
+  EXPECT_FALSE(app_recoverable(core::Trigger::kHardwareRemoval));
+  EXPECT_FALSE(app_recoverable(core::Trigger::kFullFileSystem));
+  EXPECT_FALSE(app_recoverable(core::Trigger::kExternalSocketLeak));
+  EXPECT_FALSE(app_recoverable(core::Trigger::kReverseDnsMissing));
+  EXPECT_FALSE(app_recoverable(core::Trigger::kNetworkResourceExhausted));
+  EXPECT_TRUE(app_recoverable(core::Trigger::kFdExhaustion));
+  EXPECT_TRUE(app_recoverable(core::Trigger::kBoundaryInput));
+  EXPECT_TRUE(app_recoverable(core::Trigger::kRaceCondition));
+}
+
+TEST(Costs, FastMechanismsAreFaster) {
+  EXPECT_LT(RecoveryCosts::kProcessPairs, RecoveryCosts::kColdRestart);
+  EXPECT_LT(RecoveryCosts::kAppSpecific, RecoveryCosts::kRejuvenation);
+}
+
+TEST(Bias, ProgressiveBelowRollback) {
+  EXPECT_LT(ReplayBias::kProgressiveRetry, ReplayBias::kRollbackRetry);
+  EXPECT_LT(ReplayBias::kProcessPairs, ReplayBias::kRollbackRetry);
+}
+
+}  // namespace
+}  // namespace faultstudy::recovery

@@ -1,0 +1,167 @@
+// Round-trip tests for corpus serialization (tracker records, mbox), and
+// the property that a serialized synthetic corpus drives the pipeline to
+// the same study set after a round trip.
+#include <gtest/gtest.h>
+
+#include "corpus/serialize.hpp"
+#include "corpus/synth.hpp"
+#include "mining/pipeline.hpp"
+
+namespace faultstudy::corpus {
+namespace {
+
+BugReport sample_report() {
+  BugReport r;
+  r.app = core::AppId::kApache;
+  r.component = "core";
+  r.version = "1.3.0";
+  r.track = VersionTrack::kProduction;
+  r.severity = Severity::kCritical;
+  r.kind = ReportKind::kRuntimeFailure;
+  r.date = Date{512};
+  r.release_ordinal = 2;
+  r.fixed = true;
+  r.fault_id = "apache-ei-01";
+  r.truth_class = core::FaultClass::kEnvironmentIndependent;
+  r.text.title = "dies with a segfault when the submitted URL is very long";
+  r.text.how_to_repeat = "Submit a very long URL.";
+  r.text.developer_comments = "Overflow in the hash calculation.";
+  r.text.body = "Observed on production.\nSecond line of the body.";
+  return r;
+}
+
+TEST(TrackerSerialize, RoundTripsAllFields) {
+  BugTracker tracker(core::AppId::kApache);
+  tracker.add(sample_report());
+
+  const auto text = tracker_to_text(tracker);
+  const auto parsed = tracker_from_text(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const auto& t = parsed.value();
+  ASSERT_EQ(t.size(), 1u);
+  const auto& r = t.reports()[0];
+  const auto expected = sample_report();
+  EXPECT_EQ(r.app, expected.app);
+  EXPECT_EQ(r.component, expected.component);
+  EXPECT_EQ(r.version, expected.version);
+  EXPECT_EQ(r.track, expected.track);
+  EXPECT_EQ(r.severity, expected.severity);
+  EXPECT_EQ(r.kind, expected.kind);
+  EXPECT_EQ(r.date.days, expected.date.days);
+  EXPECT_EQ(r.release_ordinal, expected.release_ordinal);
+  EXPECT_EQ(r.fixed, expected.fixed);
+  EXPECT_EQ(r.fault_id, expected.fault_id);
+  EXPECT_EQ(r.truth_class, expected.truth_class);
+  EXPECT_EQ(r.text.title, expected.text.title);
+  EXPECT_EQ(r.text.how_to_repeat, expected.text.how_to_repeat);
+  EXPECT_EQ(r.text.developer_comments, expected.text.developer_comments);
+  EXPECT_EQ(r.text.body, expected.text.body);
+}
+
+TEST(TrackerSerialize, BodyContainingHeaderMarkerEscaped) {
+  BugTracker tracker(core::AppId::kGnome);
+  auto r = sample_report();
+  r.app = core::AppId::kGnome;
+  r.text.body = "quoting a record:\n== Bug 99 ==\nshould stay in the body";
+  tracker.add(std::move(r));
+
+  const auto parsed = tracker_from_text(tracker_to_text(tracker));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_NE(parsed.value().reports()[0].text.body.find("== Bug 99 =="),
+            std::string::npos);
+}
+
+TEST(TrackerSerialize, RejectsMixedApps) {
+  BugTracker a(core::AppId::kApache);
+  a.add(sample_report());
+  auto text = tracker_to_text(a);
+  auto r2 = sample_report();
+  r2.id = 77;
+  r2.app = core::AppId::kGnome;
+  BugTracker b(core::AppId::kGnome);
+  b.add(std::move(r2));
+  text += tracker_to_text(b);
+  EXPECT_FALSE(tracker_from_text(text).ok());
+}
+
+TEST(TrackerSerialize, RejectsGarbage) {
+  EXPECT_FALSE(tracker_from_text("not a tracker dump").ok());
+  EXPECT_FALSE(tracker_from_text("").ok());
+}
+
+TEST(TrackerSerialize, FullSyntheticCorpusRoundTrip) {
+  SynthConfig config;
+  config.apache_total = 400;  // keep the test quick
+  const auto original = make_apache_tracker(config);
+  const auto parsed = tracker_from_text(tracker_to_text(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().size(), original.size());
+  EXPECT_EQ(parsed.value().distinct_faults(), original.distinct_faults());
+
+  // The round-tripped corpus must drive the pipeline to the same result.
+  const auto before = mining::run_tracker_pipeline(original);
+  const auto after = mining::run_tracker_pipeline(parsed.value());
+  EXPECT_EQ(before.bugs.size(), after.bugs.size());
+}
+
+TEST(MboxSerialize, RoundTripsMessages) {
+  MailingList list;
+  MailMessage m;
+  m.sender = "alice@example.net";
+  m.subject = "server crash";
+  m.date = Date{100};
+  m.body = "Description: crash\nHow-To-Repeat: run it\nVersion: 3.22.20";
+  m.fault_id = "mysql-ei-03";
+  m.truth_class = core::FaultClass::kEnvironmentIndependent;
+  const auto root = list.add(m);
+  MailMessage reply;
+  reply.sender = "monty@mysql.example";
+  reply.subject = "Re: server crash";
+  reply.thread_id = root;
+  reply.body = "missing check for empty tables";
+  list.add(reply);
+
+  const auto parsed = mailinglist_from_mbox(mailinglist_to_mbox(list));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const auto& l = parsed.value();
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.messages()[0].sender, "alice@example.net");
+  EXPECT_EQ(l.messages()[0].body, m.body);
+  EXPECT_EQ(l.messages()[0].fault_id, "mysql-ei-03");
+  EXPECT_EQ(l.messages()[1].thread_id, root);
+  EXPECT_EQ(l.thread(root).size(), 2u);
+}
+
+TEST(MboxSerialize, FromLineInBodyEscaped) {
+  MailingList list;
+  MailMessage m;
+  m.sender = "bob@example";
+  m.subject = "quoting";
+  m.body = "He wrote:\nFrom the beginning it was broken.";
+  list.add(m);
+  const auto parsed = mailinglist_from_mbox(mailinglist_to_mbox(list));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value().messages()[0].body, m.body);
+}
+
+TEST(MboxSerialize, RejectsGarbage) {
+  EXPECT_FALSE(mailinglist_from_mbox("no separator here").ok());
+}
+
+TEST(MboxSerialize, PipelineEquivalenceAfterRoundTrip) {
+  SynthConfig config;
+  config.mysql_messages = 600;
+  const auto original = make_mysql_list(config);
+  const auto parsed = mailinglist_from_mbox(mailinglist_to_mbox(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().size(), original.size());
+
+  const auto before = mining::run_mailinglist_pipeline(original);
+  const auto after = mining::run_mailinglist_pipeline(parsed.value());
+  EXPECT_EQ(before.bugs.size(), after.bugs.size());
+}
+
+}  // namespace
+}  // namespace faultstudy::corpus

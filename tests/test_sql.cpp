@@ -1,0 +1,330 @@
+// Tests for the mini SQL engine: lexer, parser, storage/index, executor,
+// and the five study bugs implemented as engine-level fault points.
+#include <gtest/gtest.h>
+
+#include "apps/sql/engine.hpp"
+#include "apps/sql/lexer.hpp"
+
+namespace faultstudy::apps::sql {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+TEST(SqlLexer, KeywordsAndIdentifiers) {
+  const auto tokens = lex("SELECT id FROM orders");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  ASSERT_EQ(t.size(), 5u);  // 4 tokens + end
+  EXPECT_EQ(t[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(t[1].text, "id");
+  EXPECT_EQ(t[4].kind, TokenKind::kEnd);
+}
+
+TEST(SqlLexer, KeywordsCaseInsensitive) {
+  const auto tokens = lex("select COUNT from T");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "SELECT");
+  EXPECT_EQ(tokens.value()[1].text, "COUNT");
+}
+
+TEST(SqlLexer, NumbersAndStrings) {
+  const auto tokens = lex("VALUES (42, 'open', -7)");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[2].kind, TokenKind::kInteger);
+  EXPECT_EQ(t[2].number, 42);
+  EXPECT_EQ(t[4].kind, TokenKind::kString);
+  EXPECT_EQ(t[4].text, "open");
+  EXPECT_EQ(t[6].number, -7);
+}
+
+TEST(SqlLexer, ComparisonOperators) {
+  const auto tokens = lex("a <= 1 ; b != 2 ; c >= 3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].text, "<=");
+  EXPECT_EQ(tokens.value()[5].text, "!=");
+  EXPECT_EQ(tokens.value()[9].text, ">=");
+}
+
+TEST(SqlLexer, UnterminatedStringIsError) {
+  EXPECT_FALSE(lex("SELECT 'oops").ok());
+}
+
+TEST(SqlLexer, UnexpectedCharacterIsError) {
+  EXPECT_FALSE(lex("SELECT @").ok());
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(SqlParser, SelectStar) {
+  const auto stmts = parse("SELECT * FROM orders");
+  ASSERT_TRUE(stmts.ok());
+  ASSERT_EQ(stmts.value().size(), 1u);
+  const auto& s = std::get<SelectStatement>(stmts.value()[0].node);
+  EXPECT_FALSE(s.count_star);
+  EXPECT_TRUE(s.columns.empty());
+  EXPECT_EQ(s.table, "orders");
+}
+
+TEST(SqlParser, SelectWithEverything) {
+  const auto stmts = parse(
+      "SELECT id, state FROM orders WHERE id > 5 AND state = 'open' "
+      "ORDER BY id DESC LIMIT 3");
+  ASSERT_TRUE(stmts.ok()) << stmts.error();
+  const auto& s = std::get<SelectStatement>(stmts.value()[0].node);
+  EXPECT_EQ(s.columns, (std::vector<std::string>{"id", "state"}));
+  ASSERT_EQ(s.where.size(), 2u);
+  EXPECT_EQ(s.where[0].op, CompareOp::kGt);
+  ASSERT_TRUE(s.order_by.has_value());
+  EXPECT_TRUE(s.order_by->descending);
+  EXPECT_EQ(s.limit, 3);
+}
+
+TEST(SqlParser, CountStar) {
+  const auto stmts = parse("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_TRUE(std::get<SelectStatement>(stmts.value()[0].node).count_star);
+}
+
+TEST(SqlParser, InsertUpdateDelete) {
+  const auto stmts = parse(
+      "INSERT INTO t VALUES (1, 'x'); "
+      "UPDATE t SET c = 2 WHERE c = 1; "
+      "DELETE FROM t WHERE c = 2");
+  ASSERT_TRUE(stmts.ok()) << stmts.error();
+  ASSERT_EQ(stmts.value().size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<InsertStatement>(stmts.value()[0].node));
+  EXPECT_TRUE(std::holds_alternative<UpdateStatement>(stmts.value()[1].node));
+  EXPECT_TRUE(std::holds_alternative<DeleteStatement>(stmts.value()[2].node));
+}
+
+TEST(SqlParser, CreateTable) {
+  const auto stmts = parse("CREATE TABLE t (id INT, name TEXT)");
+  ASSERT_TRUE(stmts.ok());
+  const auto& s = std::get<CreateStatement>(stmts.value()[0].node);
+  ASSERT_EQ(s.schema.columns.size(), 2u);
+  EXPECT_EQ(s.schema.columns[1].type, ColumnType::kText);
+}
+
+TEST(SqlParser, AdminStatements) {
+  const auto stmts =
+      parse("LOCK TABLES t WRITE; FLUSH TABLES; UNLOCK TABLES; "
+            "OPTIMIZE TABLE t");
+  ASSERT_TRUE(stmts.ok()) << stmts.error();
+  ASSERT_EQ(stmts.value().size(), 4u);
+  EXPECT_EQ(std::get<AdminStatement>(stmts.value()[0].node).kind,
+            AdminStatement::Kind::kLockTables);
+  EXPECT_EQ(std::get<AdminStatement>(stmts.value()[3].node).kind,
+            AdminStatement::Kind::kOptimize);
+}
+
+TEST(SqlParser, Errors) {
+  EXPECT_FALSE(parse("SELECT FROM").ok());
+  EXPECT_FALSE(parse("INSERT INTO t (1)").ok());
+  EXPECT_FALSE(parse("UPDATE t WHERE x = 1").ok());
+  EXPECT_FALSE(parse("bogus statement").ok());
+}
+
+// ---------------------------------------------------------- table / index
+
+TEST(SqlTable, InsertScanErase) {
+  Table t(Schema{{{"id", ColumnType::kInteger}}});
+  const auto s0 = t.insert({Value{std::int64_t{5}}});
+  t.insert({Value{std::int64_t{3}}});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_TRUE(t.check_index());
+  t.erase(s0);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_FALSE(t.is_live(s0));
+  EXPECT_TRUE(t.check_index());
+}
+
+TEST(SqlTable, IndexScanOrdered) {
+  Table t(Schema{{{"id", ColumnType::kInteger}}});
+  for (std::int64_t v : {5, 1, 9, 3}) t.insert({Value{v}});
+  std::vector<std::int64_t> keys;
+  for (auto cursor = t.index_scan(); !cursor.done(); cursor.next()) {
+    keys.push_back(std::get<std::int64_t>(cursor.key()));
+  }
+  EXPECT_EQ(keys, (std::vector<std::int64_t>{1, 3, 5, 9}));
+}
+
+TEST(SqlTable, CorrectKeyUpdateKeepsIndexConsistent) {
+  Table t(Schema{{{"id", ColumnType::kInteger}}});
+  const auto s = t.insert({Value{std::int64_t{1}}});
+  t.update_cell(s, 0, Value{std::int64_t{7}});
+  EXPECT_TRUE(t.check_index());
+  EXPECT_EQ(t.index_entries(), 1u);
+}
+
+TEST(SqlTable, BuggyKeyUpdateLeavesDuplicate) {
+  Table t(Schema{{{"id", ColumnType::kInteger}}});
+  const auto s = t.insert({Value{std::int64_t{1}}});
+  t.update_cell(s, 0, Value{std::int64_t{7}},
+                /*corrupt_index_on_key_move=*/true);
+  EXPECT_FALSE(t.check_index());
+  EXPECT_EQ(t.index_entries(), 2u);  // stale + new: duplicate values
+}
+
+TEST(SqlTable, CompactRebuildsIndex) {
+  Table t(Schema{{{"id", ColumnType::kInteger}}});
+  const auto s = t.insert({Value{std::int64_t{1}}});
+  t.insert({Value{std::int64_t{2}}});
+  t.update_cell(s, 0, Value{std::int64_t{9}}, true);  // corrupt
+  EXPECT_FALSE(t.check_index());
+  t.compact();
+  EXPECT_TRUE(t.check_index());
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+// --------------------------------------------------------------- executor
+
+Engine make_engine(SqlFaultFlags flags = {}) {
+  Engine e(flags);
+  e.execute("CREATE TABLE t (id INT, state TEXT)");
+  e.execute("INSERT INTO t VALUES (1, 'open')");
+  e.execute("INSERT INTO t VALUES (2, 'open')");
+  e.execute("INSERT INTO t VALUES (3, 'done')");
+  e.execute("CREATE TABLE empty_t (id INT)");
+  return e;
+}
+
+TEST(SqlEngine, SelectWhere) {
+  auto e = make_engine();
+  const auto r = e.execute("SELECT id FROM t WHERE state = 'open'");
+  EXPECT_EQ(r.status, ExecStatus::kOk);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::int64_t>(r.rows[0][0]), 1);
+}
+
+TEST(SqlEngine, OrderByAndLimit) {
+  auto e = make_engine();
+  const auto r = e.execute("SELECT id FROM t ORDER BY id DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::int64_t>(r.rows[0][0]), 3);
+  EXPECT_EQ(std::get<std::int64_t>(r.rows[1][0]), 2);
+}
+
+TEST(SqlEngine, CountStar) {
+  auto e = make_engine();
+  EXPECT_EQ(e.execute("SELECT COUNT(*) FROM t").affected, 3);
+  EXPECT_EQ(e.execute("SELECT COUNT(*) FROM empty_t").affected, 0);
+}
+
+TEST(SqlEngine, UpdateFixedPathMovesKeys) {
+  auto e = make_engine();
+  const auto r = e.execute("UPDATE t SET id = 100 WHERE id < 3");
+  EXPECT_EQ(r.status, ExecStatus::kOk);
+  EXPECT_EQ(r.affected, 2);
+  EXPECT_TRUE(e.find_table("t")->check_index());
+}
+
+TEST(SqlEngine, DeleteAndArityChecks) {
+  auto e = make_engine();
+  EXPECT_EQ(e.execute("DELETE FROM t WHERE state = 'open'").affected, 2);
+  EXPECT_EQ(e.find_table("t")->row_count(), 1u);
+  EXPECT_EQ(e.execute("INSERT INTO t VALUES (9)").status, ExecStatus::kError);
+  EXPECT_EQ(e.execute("SELECT * FROM nosuch").status, ExecStatus::kError);
+  EXPECT_EQ(e.execute("SELECT nocol FROM t").status, ExecStatus::kError);
+}
+
+TEST(SqlEngine, LockStateMachine) {
+  auto e = make_engine();
+  EXPECT_FALSE(e.holds_lock());
+  EXPECT_EQ(e.execute("LOCK TABLES t WRITE").status, ExecStatus::kOk);
+  EXPECT_TRUE(e.holds_lock());
+  EXPECT_EQ(e.execute("FLUSH TABLES").status, ExecStatus::kOk);  // no bug armed
+  EXPECT_EQ(e.execute("UNLOCK TABLES").status, ExecStatus::kOk);
+  EXPECT_FALSE(e.holds_lock());
+}
+
+TEST(SqlEngine, EngineIsCopyable) {
+  auto e = make_engine();
+  Engine copy = e;
+  e.execute("DELETE FROM t WHERE id = 1");
+  EXPECT_EQ(copy.find_table("t")->row_count(), 3u);
+  EXPECT_EQ(e.find_table("t")->row_count(), 2u);
+}
+
+// ---------------------------------------------- the five study bugs
+
+TEST(SqlBugs, CountOnEmptyTableCrashes) {
+  SqlFaultFlags flags;
+  flags.count_on_empty_crash = true;
+  auto e = make_engine(flags);
+  EXPECT_EQ(e.execute("SELECT COUNT(*) FROM t").status, ExecStatus::kOk);
+  EXPECT_EQ(e.execute("SELECT COUNT(*) FROM empty_t").status,
+            ExecStatus::kCrash);
+}
+
+TEST(SqlBugs, OrderByZeroRecordsCrashes) {
+  SqlFaultFlags flags;
+  flags.orderby_empty_missing_init = true;
+  auto e = make_engine(flags);
+  EXPECT_EQ(e.execute("SELECT * FROM t ORDER BY id").status, ExecStatus::kOk);
+  EXPECT_EQ(e.execute("SELECT * FROM t WHERE id > 999 ORDER BY id").status,
+            ExecStatus::kCrash);
+  // Without ORDER BY, zero records are fine.
+  auto e2 = make_engine(flags);
+  EXPECT_EQ(e2.execute("SELECT * FROM t WHERE id > 999").status,
+            ExecStatus::kOk);
+}
+
+TEST(SqlBugs, OptimizeTableCrashes) {
+  SqlFaultFlags flags;
+  flags.optimize_missing_init = true;
+  auto e = make_engine(flags);
+  EXPECT_EQ(e.execute("OPTIMIZE TABLE t").status, ExecStatus::kCrash);
+  auto fixed = make_engine();
+  EXPECT_EQ(fixed.execute("OPTIMIZE TABLE t").status, ExecStatus::kOk);
+}
+
+TEST(SqlBugs, FlushAfterLockCrashes) {
+  SqlFaultFlags flags;
+  flags.flush_after_lock_bug = true;
+  auto e = make_engine(flags);
+  EXPECT_EQ(e.execute("FLUSH TABLES").status, ExecStatus::kOk);  // no lock
+  EXPECT_EQ(e.execute("LOCK TABLES t WRITE; FLUSH TABLES").status,
+            ExecStatus::kCrash);
+}
+
+TEST(SqlBugs, UpdateWhileScanningCorruptsIndexAndCrashes) {
+  SqlFaultFlags flags;
+  flags.update_index_scan_bug = true;
+  auto e = make_engine(flags);
+  const auto r = e.execute("UPDATE t SET id = 999 WHERE id < 3");
+  EXPECT_EQ(r.status, ExecStatus::kCrash);
+  EXPECT_NE(r.message.find("duplicate values in the index"),
+            std::string::npos);
+  // The crash is mid-statement: the table is left corrupted.
+  EXPECT_FALSE(e.find_table("t")->check_index());
+}
+
+TEST(SqlBugs, BuggyUpdateHarmlessWhenKeyMovesBackward) {
+  // A key moved to a value the scan has ALREADY passed does not collide
+  // with the cursor in the same way, but still leaves a stale entry; the
+  // consistency check catches it either way.
+  SqlFaultFlags flags;
+  flags.update_index_scan_bug = true;
+  auto e = make_engine(flags);
+  EXPECT_EQ(e.execute("UPDATE t SET id = 0 WHERE id = 3").status,
+            ExecStatus::kCrash);
+}
+
+TEST(SqlBugs, FixedEngineRunsAllKillersClean) {
+  auto e = make_engine();
+  EXPECT_EQ(e.execute("SELECT COUNT(*) FROM empty_t").status, ExecStatus::kOk);
+  EXPECT_EQ(e.execute("SELECT * FROM t WHERE id > 999 ORDER BY id").status,
+            ExecStatus::kOk);
+  EXPECT_EQ(e.execute("OPTIMIZE TABLE t").status, ExecStatus::kOk);
+  EXPECT_EQ(e.execute("LOCK TABLES t WRITE; FLUSH TABLES; UNLOCK TABLES").status,
+            ExecStatus::kOk);
+  EXPECT_EQ(e.execute("UPDATE t SET id = 999 WHERE id < 3").status,
+            ExecStatus::kOk);
+  EXPECT_TRUE(e.find_table("t")->check_index());
+}
+
+}  // namespace
+}  // namespace faultstudy::apps::sql

@@ -1,0 +1,271 @@
+// Tests for the fault taxonomy, the classification rules, aggregation, and
+// classifier evaluation utilities.
+#include <gtest/gtest.h>
+
+#include "core/aggregate.hpp"
+#include "core/eval.hpp"
+#include "core/rules.hpp"
+#include "core/taxonomy.hpp"
+
+namespace faultstudy::core {
+namespace {
+
+// -------------------------------------------------------------- taxonomy
+
+TEST(Taxonomy, FaultClassRoundTrip) {
+  for (FaultClass c : kAllFaultClasses) {
+    const auto code = to_code(c);
+    const auto back = fault_class_from_code(code);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(fault_class_from_code("XX").has_value());
+}
+
+TEST(Taxonomy, ClassNamesMatchPaper) {
+  EXPECT_EQ(to_string(FaultClass::kEnvironmentIndependent),
+            "environment-independent");
+  EXPECT_EQ(to_string(FaultClass::kEnvDependentNonTransient),
+            "environment-dependent-nontransient");
+  EXPECT_EQ(to_string(FaultClass::kEnvDependentTransient),
+            "environment-dependent-transient");
+}
+
+TEST(Taxonomy, EveryTriggerHasNameAndDescription) {
+  for (Trigger t : all_triggers()) {
+    EXPECT_NE(to_string(t), "?") << static_cast<int>(t);
+    EXPECT_NE(describe(t), "?") << static_cast<int>(t);
+    EXPECT_FALSE(to_string(t).empty());
+  }
+}
+
+TEST(Taxonomy, TriggerCountMatchesEnum) {
+  EXPECT_EQ(all_triggers().size(), kNumTriggers);
+  EXPECT_EQ(kNumTriggers, 28u);
+}
+
+TEST(Taxonomy, SymptomNames) {
+  EXPECT_EQ(to_string(Symptom::kCrash), "crash");
+  EXPECT_EQ(to_string(Symptom::kHang), "hang");
+}
+
+// ----------------------------------------------------------------- rules
+
+TEST(Rules, ClassSplitMatchesTaxonomySections) {
+  // The first 8 triggers are EI, the next 11 EDN, the final 9 EDT — the
+  // same grouping as Section 5's bullet lists.
+  std::size_t ei = 0, edn = 0, edt = 0;
+  for (Trigger t : all_triggers()) {
+    switch (fault_class_of(t)) {
+      case FaultClass::kEnvironmentIndependent:
+        ++ei;
+        break;
+      case FaultClass::kEnvDependentNonTransient:
+        ++edn;
+        break;
+      case FaultClass::kEnvDependentTransient:
+        ++edt;
+        break;
+    }
+  }
+  EXPECT_EQ(ei, 8u);
+  EXPECT_EQ(edn, 11u);
+  EXPECT_EQ(edt, 9u);
+}
+
+TEST(Rules, RetryChangeConsistentWithClass) {
+  // Exactly the transient triggers have conditions that change on retry.
+  for (Trigger t : all_triggers()) {
+    const Ruling& r = default_ruling(t);
+    EXPECT_EQ(r.condition_changes_on_retry,
+              r.fault_class == FaultClass::kEnvDependentTransient)
+        << to_string(t);
+    EXPECT_FALSE(r.rationale.empty()) << to_string(t);
+  }
+}
+
+TEST(Rules, PaperExamples) {
+  EXPECT_EQ(fault_class_of(Trigger::kBoundaryInput),
+            FaultClass::kEnvironmentIndependent);
+  EXPECT_EQ(fault_class_of(Trigger::kFullFileSystem),
+            FaultClass::kEnvDependentNonTransient);
+  EXPECT_EQ(fault_class_of(Trigger::kRaceCondition),
+            FaultClass::kEnvDependentTransient);
+  EXPECT_EQ(fault_class_of(Trigger::kProcessTableFull),
+            FaultClass::kEnvDependentTransient);
+  EXPECT_EQ(fault_class_of(Trigger::kFdExhaustion),
+            FaultClass::kEnvDependentNonTransient);
+}
+
+TEST(RulePolicy, DefaultMatchesPaper) {
+  const RulePolicy policy;
+  EXPECT_EQ(policy.override_count(), 0u);
+  for (Trigger t : all_triggers()) {
+    EXPECT_EQ(policy.classify(t), fault_class_of(t)) << to_string(t);
+  }
+}
+
+TEST(RulePolicy, ReclassifyAndRevert) {
+  RulePolicy policy;
+  policy.reclassify(Trigger::kFullFileSystem,
+                    FaultClass::kEnvDependentTransient);
+  EXPECT_EQ(policy.classify(Trigger::kFullFileSystem),
+            FaultClass::kEnvDependentTransient);
+  EXPECT_EQ(policy.override_count(), 1u);
+
+  policy.reclassify(Trigger::kFullFileSystem,
+                    FaultClass::kEnvDependentNonTransient);
+  EXPECT_EQ(policy.override_count(), 0u);
+}
+
+TEST(RulePolicy, RepeatedOverrideCountsOnce) {
+  RulePolicy policy;
+  policy.reclassify(Trigger::kDnsSlow, FaultClass::kEnvDependentNonTransient);
+  policy.reclassify(Trigger::kDnsSlow, FaultClass::kEnvironmentIndependent);
+  EXPECT_EQ(policy.override_count(), 1u);
+}
+
+// ------------------------------------------------------------- aggregate
+
+Fault make_fault(AppId app, FaultClass c, int bucket) {
+  Fault f;
+  f.app = app;
+  f.fault_class = c;
+  f.bucket = bucket;
+  return f;
+}
+
+TEST(Aggregate, TallyCounts) {
+  std::vector<Fault> faults = {
+      make_fault(AppId::kApache, FaultClass::kEnvironmentIndependent, 0),
+      make_fault(AppId::kApache, FaultClass::kEnvDependentTransient, 0),
+      make_fault(AppId::kGnome, FaultClass::kEnvironmentIndependent, 1),
+  };
+  const auto counts = tally(faults);
+  EXPECT_EQ(counts[FaultClass::kEnvironmentIndependent], 2u);
+  EXPECT_EQ(counts[FaultClass::kEnvDependentTransient], 1u);
+  EXPECT_EQ(counts.total(), 3u);
+  EXPECT_NEAR(counts.fraction(FaultClass::kEnvironmentIndependent), 2.0 / 3,
+              1e-9);
+}
+
+TEST(Aggregate, TallyAppFilters) {
+  std::vector<Fault> faults = {
+      make_fault(AppId::kApache, FaultClass::kEnvironmentIndependent, 0),
+      make_fault(AppId::kGnome, FaultClass::kEnvironmentIndependent, 0),
+  };
+  EXPECT_EQ(tally_app(faults, AppId::kApache).total(), 1u);
+  EXPECT_EQ(tally_app(faults, AppId::kMysql).total(), 0u);
+}
+
+TEST(Aggregate, TallyByBucketSorted) {
+  std::vector<Fault> faults = {
+      make_fault(AppId::kApache, FaultClass::kEnvironmentIndependent, 2),
+      make_fault(AppId::kApache, FaultClass::kEnvironmentIndependent, 0),
+      make_fault(AppId::kApache, FaultClass::kEnvDependentTransient, 2),
+  };
+  const auto buckets = tally_by_bucket(faults, AppId::kApache);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets.begin()->first, 0);
+  EXPECT_EQ(buckets.rbegin()->first, 2);
+  EXPECT_EQ(buckets.at(2).total(), 2u);
+}
+
+TEST(Aggregate, EmptyCountsFractionZero) {
+  ClassCounts c;
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_DOUBLE_EQ(c.fraction(FaultClass::kEnvironmentIndependent), 0.0);
+}
+
+TEST(Aggregate, SummaryMinMaxSpans) {
+  std::vector<Fault> faults;
+  // Apache: 3 EI of 4 (75%); GNOME: 1 EI of 1 (100%).
+  for (int i = 0; i < 3; ++i) {
+    faults.push_back(
+        make_fault(AppId::kApache, FaultClass::kEnvironmentIndependent, 0));
+  }
+  faults.push_back(
+      make_fault(AppId::kApache, FaultClass::kEnvDependentTransient, 0));
+  faults.push_back(
+      make_fault(AppId::kGnome, FaultClass::kEnvironmentIndependent, 0));
+
+  const auto s = summarize(faults);
+  EXPECT_EQ(s.total_faults, 5u);
+  EXPECT_NEAR(s.min_ei_fraction, 0.75, 1e-9);
+  EXPECT_NEAR(s.max_ei_fraction, 1.0, 1e-9);
+  EXPECT_NEAR(s.max_edt_fraction, 0.25, 1e-9);
+}
+
+// ------------------------------------------------------------------ eval
+
+TEST(ConfusionMatrix, PerfectAgreement) {
+  ConfusionMatrix cm;
+  for (FaultClass c : kAllFaultClasses) {
+    cm.add(c, c);
+    cm.add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.kappa(), 1.0);
+  for (FaultClass c : kAllFaultClasses) {
+    EXPECT_DOUBLE_EQ(cm.precision(c), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(c), 1.0);
+  }
+}
+
+TEST(ConfusionMatrix, ChanceLevelKappaNearZero) {
+  // Predictions independent of truth: kappa ~ 0.
+  ConfusionMatrix cm;
+  for (int i = 0; i < 30; ++i) {
+    for (FaultClass truth : kAllFaultClasses) {
+      for (FaultClass pred : kAllFaultClasses) {
+        cm.add(truth, pred);
+      }
+    }
+  }
+  EXPECT_NEAR(cm.kappa(), 0.0, 1e-9);
+}
+
+TEST(ConfusionMatrix, EmptyMatrix) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.kappa(), 1.0);
+}
+
+TEST(ConfusionMatrix, DegenerateSingleClass) {
+  // All truth and all predictions in one class: observed agreement 1,
+  // expected agreement 1 -> kappa defined as 1.
+  ConfusionMatrix cm;
+  for (int i = 0; i < 10; ++i) {
+    cm.add(FaultClass::kEnvironmentIndependent,
+           FaultClass::kEnvironmentIndependent);
+  }
+  EXPECT_DOUBLE_EQ(cm.kappa(), 1.0);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallAsymmetric) {
+  ConfusionMatrix cm;
+  // Truth EI predicted EDT twice; truth EDT predicted EDT once.
+  cm.add(FaultClass::kEnvironmentIndependent,
+         FaultClass::kEnvDependentTransient);
+  cm.add(FaultClass::kEnvironmentIndependent,
+         FaultClass::kEnvDependentTransient);
+  cm.add(FaultClass::kEnvDependentTransient,
+         FaultClass::kEnvDependentTransient);
+  EXPECT_NEAR(cm.precision(FaultClass::kEnvDependentTransient), 1.0 / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(cm.recall(FaultClass::kEnvDependentTransient), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(FaultClass::kEnvironmentIndependent), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(FaultClass::kEnvironmentIndependent), 0.0);
+}
+
+TEST(ConfusionMatrix, ToStringContainsCounts) {
+  ConfusionMatrix cm;
+  cm.add(FaultClass::kEnvironmentIndependent,
+         FaultClass::kEnvironmentIndependent);
+  const auto s = cm.to_string();
+  EXPECT_NE(s.find("accuracy"), std::string::npos);
+  EXPECT_NE(s.find("kappa"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faultstudy::core

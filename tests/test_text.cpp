@@ -1,0 +1,323 @@
+// Unit tests for the text substrate: tokenizer, stopwords, stemmer, TF-IDF,
+// MinHash (including the Jaccard-estimation property), inverted index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/index.hpp"
+#include "text/minhash.hpp"
+#include "text/stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/tfidf.hpp"
+#include "text/tokenizer.hpp"
+#include "util/rng.hpp"
+
+namespace faultstudy::text {
+namespace {
+
+// ------------------------------------------------------------- tokenizer
+
+TEST(Tokenizer, BasicWords) {
+  const auto t = tokenize("The server crashed hard");
+  EXPECT_EQ(t, (std::vector<std::string>{"the", "server", "crashed", "hard"}));
+}
+
+TEST(Tokenizer, KeepsVersionsAndIdentifiers) {
+  const auto t = tokenize("Apache 2.0.36 uses va_list in ap_log_rerror");
+  EXPECT_NE(std::find(t.begin(), t.end(), "2.0.36"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "va_list"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "ap_log_rerror"), t.end());
+}
+
+TEST(Tokenizer, KeepsCompoundFilenames) {
+  const auto t = tokenize("double-clicking a tar.gz file");
+  EXPECT_NE(std::find(t.begin(), t.end(), "tar.gz"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "double-clicking"), t.end());
+}
+
+TEST(Tokenizer, TrailingJoinerNotAbsorbed) {
+  const auto t = tokenize("end of sentence.");
+  EXPECT_NE(std::find(t.begin(), t.end(), "sentence"), t.end());
+  EXPECT_EQ(std::find(t.begin(), t.end(), "sentence."), t.end());
+}
+
+TEST(Tokenizer, MinLengthDropsShortTokens) {
+  TokenizerOptions opt;
+  opt.min_length = 3;
+  const auto t = tokenize("an ox is big", opt);
+  EXPECT_EQ(t, (std::vector<std::string>{"big"}));
+}
+
+TEST(Tokenizer, NoLowercaseOption) {
+  TokenizerOptions opt;
+  opt.lowercase = false;
+  const auto t = tokenize("SIGHUP", opt);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], "SIGHUP");
+}
+
+TEST(Tokenizer, DropNumbersOption) {
+  TokenizerOptions opt;
+  opt.keep_numbers = false;
+  const auto t = tokenize("error 404 found 1.2.3", opt);
+  EXPECT_EQ(t, (std::vector<std::string>{"error", "found"}));
+}
+
+TEST(Tokenizer, EmptyInput) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("!!! ??? ...").empty());
+}
+
+TEST(Ngrams, Bigrams) {
+  const auto grams = ngrams({"race", "condition", "hit"}, 2);
+  EXPECT_EQ(grams,
+            (std::vector<std::string>{"race_condition", "condition_hit"}));
+}
+
+TEST(Ngrams, DegenerateCases) {
+  EXPECT_TRUE(ngrams({"one"}, 2).empty());
+  EXPECT_TRUE(ngrams({}, 1).empty());
+  EXPECT_TRUE(ngrams({"a", "b"}, 0).empty());
+  EXPECT_EQ(ngrams({"a", "b"}, 1), (std::vector<std::string>{"a", "b"}));
+}
+
+// ------------------------------------------------------------- stopwords
+
+TEST(Stopwords, CommonWordsStopped) {
+  EXPECT_TRUE(is_stopword("the"));
+  EXPECT_TRUE(is_stopword("and"));
+  EXPECT_TRUE(is_stopword("would"));
+}
+
+TEST(Stopwords, DomainWordsKept) {
+  // These carry signal in this corpus and must NOT be stopped.
+  EXPECT_FALSE(is_stopword("out"));
+  EXPECT_FALSE(is_stopword("full"));
+  EXPECT_FALSE(is_stopword("long"));
+  EXPECT_FALSE(is_stopword("crash"));
+}
+
+TEST(Stopwords, RemovePreservesOrder) {
+  const auto t = remove_stopwords({"the", "server", "is", "down"});
+  EXPECT_EQ(t, (std::vector<std::string>{"server", "down"}));
+}
+
+// --------------------------------------------------------------- stemmer
+
+TEST(Stemmer, CollapsesMorphologicalVariants) {
+  EXPECT_EQ(stem("crashes"), stem("crashed"));
+  EXPECT_EQ(stem("crashes"), stem("crashing"));
+  EXPECT_EQ(stem("hangs"), stem("hanging"));
+}
+
+TEST(Stemmer, DiedMatchesDies) {
+  EXPECT_EQ(stem("died"), stem("dies"));
+}
+
+TEST(Stemmer, LeavesIdentifiersAlone) {
+  EXPECT_EQ(stem("va_list"), "va_list");
+  EXPECT_EQ(stem("1.3.0"), "1.3.0");
+  EXPECT_EQ(stem("tar.gz"), "tar.gz");
+}
+
+TEST(Stemmer, LeavesShortTokensAlone) {
+  EXPECT_EQ(stem("is"), "is");
+  EXPECT_EQ(stem("bug"), "bug");
+}
+
+TEST(Stemmer, UndoublesConsonants) {
+  EXPECT_EQ(stem("stopped"), "stop");
+  EXPECT_EQ(stem("stopping"), "stop");
+}
+
+TEST(Stemmer, DerivationalSuffixes) {
+  EXPECT_EQ(stem("initialization"), stem("initialize"));
+}
+
+TEST(Stemmer, StemAllMapsEveryToken) {
+  const auto t = stem_all({"crashes", "running"});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], stem("crashes"));
+}
+
+// ---------------------------------------------------------------- tf-idf
+
+TEST(Vocabulary, AddAndLookup) {
+  Vocabulary v;
+  const auto id = v.add("crash");
+  EXPECT_EQ(v.add("crash"), id);
+  EXPECT_EQ(v.lookup("crash"), id);
+  EXPECT_EQ(v.lookup("unseen"), Vocabulary::kUnknown);
+  EXPECT_EQ(v.term(id), "crash");
+}
+
+TEST(TfIdf, VectorsAreUnitNorm) {
+  TfIdfModel model;
+  model.fit({{"a", "b", "c"}, {"a", "d"}});
+  const auto vec = model.transform({"a", "b", "b"});
+  double norm2 = 0.0;
+  for (const auto& e : vec.entries) norm2 += double(e.weight) * e.weight;
+  EXPECT_NEAR(norm2, 1.0, 1e-6);
+}
+
+TEST(TfIdf, SortedByTermId) {
+  TfIdfModel model;
+  model.fit({{"z", "y", "x", "w"}});
+  const auto vec = model.transform({"w", "z", "x"});
+  for (std::size_t i = 1; i < vec.entries.size(); ++i) {
+    EXPECT_LT(vec.entries[i - 1].term, vec.entries[i].term);
+  }
+}
+
+TEST(TfIdf, UnknownTermsDropped) {
+  TfIdfModel model;
+  model.fit({{"a"}});
+  const auto vec = model.transform({"never", "seen"});
+  EXPECT_TRUE(vec.entries.empty());
+}
+
+TEST(TfIdf, CosineIdenticalIsOne) {
+  TfIdfModel model;
+  model.fit({{"a", "b"}, {"c", "d"}});
+  const auto v1 = model.transform({"a", "b"});
+  const auto v2 = model.transform({"a", "b"});
+  EXPECT_NEAR(cosine(v1, v2), 1.0, 1e-6);
+}
+
+TEST(TfIdf, CosineDisjointIsZero) {
+  TfIdfModel model;
+  model.fit({{"a", "b"}, {"c", "d"}});
+  EXPECT_DOUBLE_EQ(cosine(model.transform({"a"}), model.transform({"c"})), 0.0);
+}
+
+TEST(TfIdf, RareTermsWeighMore) {
+  TfIdfModel model;
+  // "common" appears in every document, "rare" in one.
+  model.fit({{"common", "rare"}, {"common"}, {"common"}, {"common"}});
+  const auto vec = model.transform({"common", "rare"});
+  ASSERT_EQ(vec.entries.size(), 2u);
+  float common_w = 0, rare_w = 0;
+  const auto& vocab = model.vocabulary();
+  for (const auto& e : vec.entries) {
+    if (e.term == vocab.lookup("common")) common_w = e.weight;
+    if (e.term == vocab.lookup("rare")) rare_w = e.weight;
+  }
+  EXPECT_GT(rare_w, common_w);
+}
+
+// ---------------------------------------------------------------- minhash
+
+TEST(MinHash, IdenticalDocsIdenticalSignatures) {
+  const MinHasher h({});
+  const std::vector<std::string> doc = {"a", "b", "c", "d", "e"};
+  EXPECT_EQ(h.signature(doc), h.signature(doc));
+}
+
+TEST(MinHash, EstimateNearExactJaccard) {
+  // Property test: over random document pairs, the MinHash estimate must
+  // track exact Jaccard within the standard error ~1/sqrt(num_hashes).
+  MinHashParams params;
+  params.num_hashes = 128;
+  params.band_size = 2;
+  params.shingle_size = 1;  // token-level so exact_jaccard is comparable
+  const MinHasher h(params);
+  util::Rng rng(42);
+
+  double total_err = 0.0;
+  constexpr int kPairs = 30;
+  for (int p = 0; p < kPairs; ++p) {
+    std::vector<std::string> a, b;
+    for (int i = 0; i < 60; ++i) {
+      const auto tok = "tok" + std::to_string(rng.below(80));
+      if (rng.chance(0.7)) a.push_back(tok);
+      if (rng.chance(0.7)) b.push_back(tok);
+    }
+    if (a.empty() || b.empty()) continue;
+    const double exact = exact_jaccard(a, b);
+    const double est = MinHasher::estimate_jaccard(h.signature(a), h.signature(b));
+    total_err += std::fabs(exact - est);
+  }
+  EXPECT_LT(total_err / kPairs, 0.12);
+}
+
+TEST(MinHash, LshFindsSimilarPair) {
+  MinHashParams params;
+  params.band_size = 2;
+  const MinHasher h(params);
+  std::vector<std::string> base;
+  for (int i = 0; i < 30; ++i) base.push_back("w" + std::to_string(i));
+  auto near_dup = base;
+  near_dup[0] = "changed";
+  std::vector<std::string> other;
+  for (int i = 0; i < 30; ++i) other.push_back("x" + std::to_string(i));
+
+  const std::vector<Signature> sigs = {h.signature(base), h.signature(near_dup),
+                                       h.signature(other)};
+  const auto pairs = lsh_candidates(sigs, params);
+  bool found01 = false, found02 = false;
+  for (const auto& [i, j] : pairs) {
+    if (i == 0 && j == 1) found01 = true;
+    if (i == 0 && j == 2) found02 = true;
+  }
+  EXPECT_TRUE(found01) << "near-duplicate pair missed";
+  EXPECT_FALSE(found02) << "disjoint pair proposed";
+}
+
+TEST(MinHash, ShortDocumentsStillSign) {
+  const MinHasher h({});
+  const auto sig = h.signature({"one"});
+  EXPECT_EQ(sig.size(), MinHashParams{}.num_hashes);
+  // And identical short docs collide fully.
+  EXPECT_EQ(MinHasher::estimate_jaccard(sig, h.signature({"one"})), 1.0);
+}
+
+TEST(ExactJaccard, KnownValues) {
+  EXPECT_DOUBLE_EQ(exact_jaccard({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(exact_jaccard({"a"}, {"b"}), 0.0);
+  EXPECT_NEAR(exact_jaccard({"a", "b", "c"}, {"b", "c", "d"}), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(exact_jaccard({}, {}), 0.0);
+}
+
+// ----------------------------------------------------------------- index
+
+TEST(InvertedIndex, MatchAnyFindsStemVariants) {
+  InvertedIndex idx;
+  idx.add_document(1, "the server crashed during peak load");
+  idx.add_document(2, "feature request: new theme");
+  idx.add_document(3, "my disk died again");
+
+  const auto hits = idx.match_any({"crash", "died"});
+  EXPECT_EQ(hits, (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(InvertedIndex, MatchAllIntersects) {
+  InvertedIndex idx;
+  idx.add_document(1, "server crash under load");
+  idx.add_document(2, "crash on startup");
+  idx.add_document(3, "load balancing question");
+
+  EXPECT_EQ(idx.match_all({"crash", "load"}), (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(idx.match_all({"crash", "nonexistent"}).empty());
+  EXPECT_TRUE(idx.match_all({}).empty());
+}
+
+TEST(InvertedIndex, DocumentFrequency) {
+  InvertedIndex idx;
+  idx.add_document(1, "crash crash crash");
+  idx.add_document(2, "another crash");
+  EXPECT_EQ(idx.document_frequency("crash"), 2u);  // per-doc, not per-token
+  EXPECT_EQ(idx.document_frequency("absent"), 0u);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(InvertedIndex, PaperKeywordsMatchTypicalMessages) {
+  InvertedIndex idx;
+  idx.add_document(1, "mysqld died with a segmentation fault");
+  idx.add_document(2, "race between login and admin");
+  idx.add_document(3, "how do I configure replication?");
+  const auto hits = idx.match_any({"crash", "segmentation", "race", "died"});
+  EXPECT_EQ(hits, (std::vector<std::uint64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace faultstudy::text

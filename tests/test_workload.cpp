@@ -1,0 +1,117 @@
+// Tests for the workload generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/workload.hpp"
+
+namespace faultstudy::apps {
+namespace {
+
+TEST(Workload, LengthAndPoisonPlacement) {
+  WorkloadSpec spec;
+  spec.length = 30;
+  spec.poison_at = 12;
+  const auto w = make_workload(core::AppId::kApache, spec);
+  ASSERT_EQ(w.size(), 30u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(w.items[i].poison, i == 12u) << i;
+    EXPECT_EQ(w.items[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(Workload, NoPoisonWhenNegative) {
+  WorkloadSpec spec;
+  spec.poison_at = -1;
+  const auto w = make_workload(core::AppId::kGnome, spec);
+  for (const auto& item : w.items) {
+    EXPECT_FALSE(item.poison);
+  }
+}
+
+TEST(Workload, PoisonOpOverride) {
+  WorkloadSpec spec;
+  spec.poison_at = 5;
+  spec.poison_op = "OPTIMIZE TABLE orders";
+  const auto w = make_workload(core::AppId::kMysql, spec);
+  EXPECT_EQ(w.items[5].op, "OPTIMIZE TABLE orders");
+  EXPECT_TRUE(w.items[5].poison);
+  EXPECT_NE(w.items[4].op, "OPTIMIZE TABLE orders");
+}
+
+TEST(Workload, DeterministicInSeed) {
+  const auto a = make_workload(core::AppId::kMysql, {});
+  const auto b = make_workload(core::AppId::kMysql, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items[i].op, b.items[i].op);
+    EXPECT_EQ(a.items[i].heavy, b.items[i].heavy);
+    EXPECT_EQ(a.items[i].racy, b.items[i].racy);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadSpec other;
+  other.seed = 999;
+  const auto a = make_workload(core::AppId::kApache, {});
+  const auto b = make_workload(core::AppId::kApache, other);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.items[i].op != b.items[i].op) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(Workload, PerAppOperationVocabulary) {
+  WorkloadSpec spec;
+  spec.length = 200;
+  const auto web = make_workload(core::AppId::kApache, spec);
+  const auto db = make_workload(core::AppId::kMysql, spec);
+  const auto ui = make_workload(core::AppId::kGnome, spec);
+  for (const auto& item : web.items) {
+    EXPECT_TRUE(item.op.starts_with("GET ") || item.op.starts_with("POST "))
+        << item.op;
+  }
+  bool saw_sql = false;
+  for (const auto& item : db.items) {
+    if (item.op.starts_with("SELECT") || item.op.starts_with("INSERT")) {
+      saw_sql = true;
+    }
+  }
+  EXPECT_TRUE(saw_sql);
+  for (const auto& item : ui.items) {
+    EXPECT_TRUE(item.op.find(':') != std::string::npos) << item.op;
+  }
+}
+
+TEST(Workload, RatesRoughlyHonored) {
+  WorkloadSpec spec;
+  spec.length = 4000;
+  spec.heavy_rate = 0.25;
+  spec.racy_rate = 0.3;
+  const auto w = make_workload(core::AppId::kApache, spec);
+  std::size_t heavy = 0, racy = 0;
+  for (const auto& item : w.items) {
+    heavy += item.heavy ? 1 : 0;
+    racy += item.racy ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / spec.length, 0.25, 0.03);
+  EXPECT_NEAR(static_cast<double>(racy) / spec.length, 0.3, 0.03);
+}
+
+TEST(Workload, SslItemsCarryEntropyDemand) {
+  WorkloadSpec spec;
+  spec.length = 400;
+  const auto w = make_workload(core::AppId::kApache, spec);
+  bool saw_entropy = false;
+  for (const auto& item : w.items) {
+    if (item.entropy_bits > 0) {
+      saw_entropy = true;
+      EXPECT_NE(item.op.find("https"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_entropy);
+}
+
+}  // namespace
+}  // namespace faultstudy::apps
