@@ -1,0 +1,208 @@
+#include "analysis/race_detector.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace faultstudy::analysis {
+
+namespace {
+
+struct ThreadState {
+  VectorClock vc;
+  std::vector<env::ObjectId> locks_held;
+  std::vector<std::size_t> history;  ///< recent event indices, oldest first
+};
+
+struct LockState {
+  VectorClock release_vc;
+};
+
+/// The last write and the last read per thread of one shared variable,
+/// stored as fully-built report sides so a later conflict can cite them.
+struct Access {
+  AccessRecord record;
+  std::uint32_t clock = 0;  ///< owner thread's clock at the access
+};
+
+struct VarState {
+  std::optional<Access> last_write;
+  std::unordered_map<env::ThreadId, Access> reads;
+};
+
+std::uint64_t pair_key(env::ObjectId object, env::ThreadId a,
+                       env::ThreadId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(object) << 40) |
+         (static_cast<std::uint64_t>(a) << 20) | b;
+}
+
+}  // namespace
+
+std::vector<RaceReport> RaceDetector::analyze(
+    std::span<const env::TraceEvent> trace) {
+  std::vector<RaceReport> reports;
+  std::unordered_map<env::ThreadId, ThreadState> threads;
+  std::unordered_map<env::ObjectId, LockState> locks;
+  std::unordered_map<env::ObjectId, VarState> vars;
+  std::unordered_set<std::uint64_t> reported;
+
+  auto make_record = [&](std::size_t index, const env::TraceEvent& event,
+                         const ThreadState& state) {
+    AccessRecord record;
+    record.event_index = index;
+    record.thread = event.thread;
+    record.op = event.op;
+    record.note = event.note;
+    record.locks_held = state.locks_held;
+    record.history = state.history;
+    if (record.history.size() > options_.history_depth) {
+      record.history.erase(record.history.begin(),
+                           record.history.end() -
+                               static_cast<std::ptrdiff_t>(
+                                   options_.history_depth));
+    }
+    return record;
+  };
+
+  auto report_pair = [&](env::ObjectId object, const Access& earlier,
+                         const AccessRecord& later) {
+    if (reports.size() >= options_.max_reports) return;
+    if (options_.dedupe_pairs) {
+      const auto key = pair_key(object, earlier.record.thread, later.thread);
+      if (!reported.insert(key).second) return;
+    }
+    RaceReport r;
+    r.object = object;
+    r.first = earlier.record;
+    r.second = later;
+    reports.push_back(std::move(r));
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const env::TraceEvent& event = trace[i];
+    // Materialize both map entries a fork/join touches before taking any
+    // reference — operator[] may rehash and invalidate `self`.
+    if (event.op == env::TraceOp::kFork || event.op == env::TraceOp::kJoin) {
+      threads.try_emplace(event.object);
+    }
+    ThreadState& self = threads[event.thread];
+
+    switch (event.op) {
+      case env::TraceOp::kLock:
+        self.vc.join(locks[event.object].release_vc);
+        self.locks_held.push_back(event.object);
+        break;
+
+      case env::TraceOp::kUnlock: {
+        locks[event.object].release_vc = self.vc;
+        self.vc.bump(event.thread);
+        auto& held = self.locks_held;
+        for (auto it = held.rbegin(); it != held.rend(); ++it) {
+          if (*it == event.object) {
+            held.erase(std::next(it).base());
+            break;
+          }
+        }
+        break;
+      }
+
+      case env::TraceOp::kFork: {
+        ThreadState& child = threads.find(event.object)->second;
+        child.vc.join(self.vc);
+        self.vc.bump(event.thread);
+        break;
+      }
+
+      case env::TraceOp::kJoin: {
+        const ThreadState& child = threads.find(event.object)->second;
+        self.vc.join(child.vc);
+        break;
+      }
+
+      case env::TraceOp::kRead:
+      case env::TraceOp::kWrite: {
+        self.vc.bump(event.thread);
+        VarState& var = vars[event.object];
+        const AccessRecord record = make_record(i, event, self);
+
+        // A write conflicts with the previous write and with every read
+        // since it; a read conflicts with the previous write only.
+        if (var.last_write.has_value() &&
+            var.last_write->record.thread != event.thread &&
+            !self.vc.ordered_before_me(var.last_write->record.thread,
+                                       var.last_write->clock)) {
+          report_pair(event.object, *var.last_write, record);
+        }
+        if (event.op == env::TraceOp::kWrite) {
+          for (const auto& [thread, read] : var.reads) {
+            if (thread == event.thread) continue;
+            if (!self.vc.ordered_before_me(thread, read.clock)) {
+              report_pair(event.object, read, record);
+            }
+          }
+          var.reads.clear();
+          var.last_write = Access{record, self.vc.get(event.thread)};
+        } else {
+          var.reads[event.thread] = Access{record, self.vc.get(event.thread)};
+        }
+        break;
+      }
+    }
+
+    self.history.push_back(i);
+    if (self.history.size() > options_.history_depth * 2) {
+      self.history.erase(self.history.begin());
+    }
+  }
+  return reports;
+}
+
+namespace {
+
+void render_side(std::string& out, const char* label,
+                 const AccessRecord& side,
+                 std::span<const env::TraceEvent> trace) {
+  out += "  ";
+  out += label;
+  out += ": ";
+  out += env::to_string(side.op);
+  out += " by thread " + std::to_string(side.thread) + " at event #" +
+         std::to_string(side.event_index);
+  if (!side.note.empty()) {
+    out += " (" + side.note + ")";
+  }
+  out += "\n    locks held: ";
+  if (side.locks_held.empty()) {
+    out += "none";
+  } else {
+    for (std::size_t i = 0; i < side.locks_held.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += env::object_name(side.locks_held[i]);
+    }
+  }
+  out += "\n    events leading here:\n";
+  for (const std::size_t index : side.history) {
+    if (index >= trace.size()) continue;
+    const auto& event = trace[index];
+    out += "      #" + std::to_string(index) + " " +
+           std::string(env::to_string(event.op)) + " " +
+           std::string(env::object_name(event.object));
+    if (!event.note.empty()) out += " — " + event.note;
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string to_string(const RaceReport& report,
+                      std::span<const env::TraceEvent> trace) {
+  std::string out = "RACE on ";
+  out += env::object_name(report.object);
+  out += " (object " + std::to_string(report.object) + ")\n";
+  render_side(out, "first ", report.first, trace);
+  render_side(out, "second", report.second, trace);
+  return out;
+}
+
+}  // namespace faultstudy::analysis

@@ -1,0 +1,69 @@
+// Vector clocks over the trace's small logical-thread id space.
+//
+// A vector clock maps each thread to the count of its events "known" at a
+// point in the execution; C_a happens-before C_b iff C_a <= C_b pointwise.
+// Thread ids in traces are tiny (the harness thread plus a worker and an
+// async thread per operation), so a flat vector indexed by thread id beats
+// any map representation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faultstudy::analysis {
+
+class VectorClock {
+ public:
+  std::uint32_t get(std::uint32_t thread) const noexcept {
+    return thread < clocks_.size() ? clocks_[thread] : 0;
+  }
+
+  void set(std::uint32_t thread, std::uint32_t value) {
+    grow_to(thread + 1);
+    clocks_[thread] = value;
+  }
+
+  /// Advances `thread`'s own component; returns the new value.
+  std::uint32_t bump(std::uint32_t thread) {
+    grow_to(thread + 1);
+    return ++clocks_[thread];
+  }
+
+  /// Pointwise maximum (release/acquire and fork/join edges).
+  void join(const VectorClock& other) {
+    grow_to(other.clocks_.size());
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i) {
+      clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+  }
+
+  /// True when an event stamped (`thread`, `clock`) happens-before a point
+  /// whose vector clock is *this.
+  bool ordered_before_me(std::uint32_t thread,
+                         std::uint32_t clock) const noexcept {
+    return clock <= get(thread);
+  }
+
+  std::size_t size() const noexcept { return clocks_.size(); }
+
+  std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(clocks_[i]);
+    }
+    out += ']';
+    return out;
+  }
+
+ private:
+  void grow_to(std::size_t n) {
+    if (clocks_.size() < n) clocks_.resize(n, 0);
+  }
+
+  std::vector<std::uint32_t> clocks_;
+};
+
+}  // namespace faultstudy::analysis

@@ -1,6 +1,7 @@
 #include "apps/app.hpp"
 
 #include "core/rules.hpp"
+#include "env/interleave.hpp"
 
 namespace faultstudy::apps {
 
@@ -106,6 +107,24 @@ std::size_t BaseApp::reclaim_idle_descriptors(env::Environment& e,
   e.fds().release(std::string(name()), freed);
   state_.fd_footprint -= freed;
   return freed;
+}
+
+void BaseApp::emit_synchronized_trace(env::Environment& e,
+                                      env::ObjectId shared,
+                                      const char* b_note) const {
+  if (!e.trace().enabled()) return;
+  env::TwoThreadShape shape;
+  shape.shared = shared;
+  shape.a_steps = 6;
+  shape.async_locked = true;  // the fixed program synchronizes the event
+  shape.b_note = b_note;
+  env::emit_two_thread_trace(e.trace(), e.now(), shape,
+                             /*b_position=*/shape.a_steps / 2);
+}
+
+bool BaseApp::generic_race_armed() const noexcept {
+  return fault_.has_value() &&
+         fault_->trigger == core::Trigger::kRaceCondition && !fault_->realized;
 }
 
 StepResult BaseApp::fail(std::string detail) const {
@@ -307,6 +326,21 @@ std::optional<StepResult> BaseApp::check_fault(const WorkItem& item,
       // stands down for them.
       if (item.racy && !f.realized) {
         const auto i = e.scheduler().draw();
+        if (e.trace().enabled()) {
+          // The buggy two-thread shape behind the hazard window: the worker
+          // touches the shared state unguarded mid-operation while the
+          // asynchronous thread mutates it with no lock at the position the
+          // scheduler drew. Reuses the hazard draw — tracing adds no draws.
+          env::TwoThreadShape shape;
+          shape.a_steps = 8;
+          shape.unguarded_at = 4;
+          shape.async_locked = false;
+          shape.a_note = "worker reads shared state";
+          shape.gap_note = "unguarded update in the hazard window";
+          shape.b_note = "concurrent unsynchronized update";
+          env::emit_two_thread_trace(e.trace(), e.now(), shape,
+                                     env::position_of(i, shape.a_steps));
+        }
         if (env::Scheduler::in_hazard_window(i, f.hazard_start,
                                              f.hazard_width)) {
           return fail("race condition hit its hazard window");

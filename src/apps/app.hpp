@@ -188,6 +188,18 @@ class BaseApp : public SimApp {
   /// Builds the failure result dictated by the armed fault's symptom.
   StepResult fail(std::string detail) const;
 
+  /// Emits the fixed program's synchronized two-thread trace for a racy
+  /// item: every access to `shared` is lock-protected, so the analysis
+  /// layer's happens-before detector must stay silent. No-op unless tracing
+  /// is enabled; consumes no scheduler draws (the async step's position is
+  /// fixed), so enabling tracing never perturbs the interleaving stream.
+  void emit_synchronized_trace(env::Environment& e, env::ObjectId shared,
+                               const char* b_note) const;
+
+  /// True when the armed fault is the race `check_fault` realizes
+  /// generically (used to pick buggy vs fixed trace shape).
+  bool generic_race_armed() const noexcept;
+
   BaseState state_;
   std::size_t base_fds_;
   std::size_t worker_pool_;

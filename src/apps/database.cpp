@@ -94,12 +94,18 @@ StepResult Database::handle(const WorkItem& item, env::Environment& e) {
   // hits the torn-down handler state. Racy items model queries that
   // coincide with signal traffic.
   if (fault_.has_value() && fault_->fault_id == "mysql-edt-01" &&
-      item.racy &&
-      env::signal_mask_race(e.scheduler(), /*a_steps=*/12,
-                            /*mask_computed_at=*/5)) {
-    running_ = false;
-    return {StepStatus::kCrash,
-            "signal delivered between mask computation and application"};
+      item.racy) {
+    if (env::signal_mask_race(e.scheduler(), e.trace(), e.now(),
+                              /*a_steps=*/12, /*mask_computed_at=*/5)) {
+      running_ = false;
+      return {StepStatus::kCrash,
+              "signal delivered between mask computation and application"};
+    }
+  } else if (item.racy && !generic_race_armed()) {
+    // Fixed server: the per-query signal window exists but the delivery
+    // path takes the handler lock, so the traced shape is race-free.
+    emit_synchronized_trace(e, env::trace_objects::kSignalMask,
+                            "signal delivery under handler lock");
   }
 
   if (util::starts_with(item.op, "CONNECT")) {

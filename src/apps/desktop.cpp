@@ -64,12 +64,19 @@ StepResult Desktop::handle(const WorkItem& item, env::Environment& e) {
   // gap leaves a dangling reference. Racy items model applet interactions
   // that coincide with removals.
   if (fault_.has_value() && fault_->fault_id == "gnome-edt-03" &&
-      item.racy &&
-      env::request_removal_race(e.scheduler(), /*a_steps=*/10,
-                                /*request_registered_at=*/4)) {
-    running_ = false;
-    return {StepStatus::kCrash,
-            "applet removed between action request and validation"};
+      item.racy) {
+    if (env::request_removal_race(e.scheduler(), e.trace(), e.now(),
+                                  /*a_steps=*/10,
+                                  /*request_registered_at=*/4)) {
+      running_ = false;
+      return {StepStatus::kCrash,
+              "applet removed between action request and validation"};
+    }
+  } else if (item.racy && !generic_race_armed()) {
+    // Fixed panel: removal notifications take the applet-list lock before
+    // invalidating, so the traced shape carries no race.
+    emit_synchronized_trace(e, env::trace_objects::kAppletList,
+                            "removal notification under applet-list lock");
   }
 
   // Real toolkit paths (the gnome-ei-01/02/04 bugs live in apps/ui).

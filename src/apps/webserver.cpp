@@ -82,6 +82,14 @@ StepResult WebServer::handle(const WorkItem& item, env::Environment& e) {
   // fixed server tolerates a full disk, the buggy one dies in check_fault).
   e.disk().append(log_path_, item.write_bytes > 0 ? item.write_bytes : 64);
 
+  // Scoreboard update for racy requests: the fixed server's children take
+  // the scoreboard lock, so the traced shape is race-free; a generic race
+  // fault replaces this with the buggy shape inside check_fault.
+  if (item.racy && !generic_race_armed()) {
+    emit_synchronized_trace(e, env::trace_objects::kScoreboard,
+                            "child updates scoreboard slot under lock");
+  }
+
   // Heavy requests run a CGI child for the duration of the item.
   if (item.heavy) {
     if (auto pid = e.processes().spawn("apache"); pid.has_value()) {

@@ -44,6 +44,7 @@ void Disk::set_owner(const std::string& path, std::int64_t uid) {
 
 std::vector<std::string> Disk::list_prefix(const std::string& prefix) const {
   std::vector<std::string> out;
+  out.reserve(files_.size());
   for (const auto& [path, info] : files_) {
     (void)info;
     if (path.starts_with(prefix)) out.push_back(path);

@@ -22,6 +22,7 @@
 #include "env/process_table.hpp"
 #include "env/scheduler.hpp"
 #include "env/signals.hpp"
+#include "env/trace.hpp"
 
 namespace faultstudy::env {
 
@@ -50,6 +51,10 @@ class Environment {
   Scheduler& scheduler() noexcept { return scheduler_; }
   EntropyPool& entropy() noexcept { return entropy_; }
   SignalBus& signals() noexcept { return signals_; }
+  /// Synchronization-event log for happens-before analysis; disabled by
+  /// default (see env/trace.hpp).
+  TraceLog& trace() noexcept { return trace_; }
+  const TraceLog& trace() const noexcept { return trace_; }
 
   Tick now() const noexcept { return clock_.now(); }
 
@@ -73,6 +78,7 @@ class Environment {
   Scheduler scheduler_;
   EntropyPool entropy_;
   SignalBus signals_;
+  TraceLog trace_;
   std::string hostname_ = "production-host";
 };
 

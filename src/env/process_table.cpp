@@ -64,6 +64,7 @@ const Process* ProcessTable::find(Pid pid) const {
 
 std::vector<Pid> ProcessTable::owned_by(const std::string& owner) const {
   std::vector<Pid> out;
+  out.reserve(procs_.size());
   for (const auto& [pid, p] : procs_) {
     if (p.owner == owner) out.push_back(pid);
   }

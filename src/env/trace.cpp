@@ -1,0 +1,39 @@
+#include "env/trace.hpp"
+
+namespace faultstudy::env {
+
+std::string_view to_string(TraceOp op) noexcept {
+  switch (op) {
+    case TraceOp::kRead:
+      return "read";
+    case TraceOp::kWrite:
+      return "write";
+    case TraceOp::kLock:
+      return "lock";
+    case TraceOp::kUnlock:
+      return "unlock";
+    case TraceOp::kFork:
+      return "fork";
+    case TraceOp::kJoin:
+      return "join";
+  }
+  return "?";
+}
+
+std::string_view object_name(ObjectId id) noexcept {
+  switch (id) {
+    case trace_objects::kSignalMask:
+      return "signal-mask";
+    case trace_objects::kAppletList:
+      return "applet-list";
+    case trace_objects::kScoreboard:
+      return "scoreboard";
+    case trace_objects::kSharedCounter:
+      return "shared-counter";
+    case trace_objects::kStateLock:
+      return "state-lock";
+  }
+  return "object";
+}
+
+}  // namespace faultstudy::env

@@ -1,5 +1,10 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <optional>
+
+#include "analysis/invariant_checker.hpp"
+#include "analysis/race_detector.hpp"
 #include "core/rules.hpp"
 #include "util/rng.hpp"
 #include "recovery/app_specific.hpp"
@@ -11,9 +16,76 @@
 
 namespace faultstudy::harness {
 
+namespace {
+
+/// Watches the environment's resource tables between harness actions and
+/// records the deltas as transcript events; the invariant checker consumes
+/// exactly this stream.
+class ResourceRecorder {
+ public:
+  ResourceRecorder(Transcript& transcript, env::Environment& environment,
+                   std::string owner)
+      : transcript_(transcript), environment_(environment),
+        owner_(std::move(owner)) {
+    fds_ = environment_.fds().held_by(owner_);
+    pids_ = environment_.processes().owned_by(owner_);
+    std::sort(pids_.begin(), pids_.end());
+    disk_used_ = environment_.disk().used();
+  }
+
+  /// Diffs the tables against the last call and appends fd-open/fd-close,
+  /// proc-spawn/proc-kill, and disk-write events for whatever changed.
+  void observe(std::size_t item) {
+    const std::size_t fds = environment_.fds().held_by(owner_);
+    if (fds > fds_) {
+      transcript_.record(EventKind::kFdOpen, environment_.now(), fds - fds_,
+                         owner_);
+    } else if (fds < fds_) {
+      transcript_.record(EventKind::kFdClose, environment_.now(), fds_ - fds,
+                         owner_);
+    }
+    fds_ = fds;
+
+    std::vector<env::Pid> pids = environment_.processes().owned_by(owner_);
+    std::sort(pids.begin(), pids.end());
+    for (const env::Pid pid : pids) {
+      if (!std::binary_search(pids_.begin(), pids_.end(), pid)) {
+        transcript_.record(EventKind::kProcSpawn, environment_.now(), pid,
+                           owner_);
+      }
+    }
+    for (const env::Pid pid : pids_) {
+      if (!std::binary_search(pids.begin(), pids.end(), pid)) {
+        transcript_.record(EventKind::kProcKill, environment_.now(), pid,
+                           owner_);
+      }
+    }
+    pids_ = std::move(pids);
+
+    const std::uint64_t used = environment_.disk().used();
+    if (used > disk_used_) {
+      transcript_.record(EventKind::kDiskWrite, environment_.now(),
+                         static_cast<std::size_t>(used - disk_used_),
+                         "item " + std::to_string(item));
+    }
+    disk_used_ = used;
+  }
+
+ private:
+  Transcript& transcript_;
+  env::Environment& environment_;
+  std::string owner_;
+  std::size_t fds_ = 0;
+  std::vector<env::Pid> pids_;
+  std::uint64_t disk_used_ = 0;
+};
+
+}  // namespace
+
 TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        recovery::Mechanism& mechanism,
-                       const TrialConfig& config) {
+                       const TrialConfig& config,
+                       TrialObservation* observation) {
   TrialOutcome outcome;
 
   inject::InjectionPlan p = plan;
@@ -21,14 +93,35 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
   p.workload.seed = config.seed ^ 0xA0;
 
   env::Environment environment(p.env_config);
+  if (observation != nullptr) environment.trace().enable();
+
   auto app = inject::make_app(p.seed.app);
   app->arm_fault(p.fault);
+
+  const auto finish = [&](std::string_view verdict) {
+    if (observation == nullptr) return;
+    observation->transcript.record(EventKind::kVerdict, environment.now(), 0,
+                                   std::string(verdict));
+    observation->trace = environment.trace().events();
+  };
+
   if (!app->start(environment)) {
     outcome.first_failure = "application failed to start";
+    finish("failed to start");
     return outcome;
   }
   p.arm_environment(environment, *app);
   mechanism.attach(*app, environment);
+
+  // The resource baseline is taken after start + arming: the recorder sees
+  // only what the workload and the mechanism do from here on.
+  std::optional<ResourceRecorder> recorder;
+  if (observation != nullptr) {
+    recorder.emplace(observation->transcript, environment,
+                     std::string(app->name()));
+    observation->transcript.record(EventKind::kStart, environment.now(), 0,
+                                   std::string(app->name()));
+  }
 
   const apps::Workload workload = apps::make_workload(p.seed.app, p.workload);
   const std::size_t total_items = workload.size() * config.cycles;
@@ -40,6 +133,12 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
     if (consecutive > 0) mechanism.prepare_retry(item);
 
     const apps::StepResult result = app->handle(item, environment);
+    if (recorder.has_value()) {
+      recorder->observe(i);
+      observation->transcript.record(
+          apps::is_failure(result) ? EventKind::kFailure : EventKind::kItemOk,
+          environment.now(), i, result.detail);
+    }
     if (!apps::is_failure(result)) {
       mechanism.on_item_success(*app, environment);
       consecutive = 0;
@@ -51,26 +150,53 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
     outcome.failure_observed = true;
     if (outcome.first_failure.empty()) outcome.first_failure = result.detail;
 
-    if (++consecutive > config.per_item_retries) return outcome;
-    if (outcome.recoveries >= config.recovery_budget) return outcome;
+    if (++consecutive > config.per_item_retries) {
+      finish("item failed past the retry cap");
+      return outcome;
+    }
+    if (outcome.recoveries >= config.recovery_budget) {
+      finish("recovery budget exhausted");
+      return outcome;
+    }
 
+    if (recorder.has_value()) {
+      observation->transcript.record(EventKind::kRecoveryBegin,
+                                     environment.now(), i);
+    }
     const recovery::RecoveryAction action =
         mechanism.recover(*app, environment);
     ++outcome.recoveries;
     if (!mechanism.preserves_state()) outcome.state_preserved = false;
-    if (!action.recovered) {
-      outcome.first_failure += " (recovery failed)";
-      return outcome;
-    }
     // Roll the cursor back to the restored checkpoint; those items are
     // re-executed against the rolled-back state.
-    const std::size_t rewind = std::min(action.rewind_items, i);
+    const std::size_t rewind =
+        action.recovered ? std::min(action.rewind_items, i) : 0;
+    if (recorder.has_value()) {
+      recorder->observe(i);
+      if (rewind > 0) {
+        observation->transcript.record(EventKind::kRollback, environment.now(),
+                                       rewind);
+      }
+      observation->transcript.record(action.recovered
+                                         ? EventKind::kRecoveryOk
+                                         : EventKind::kRecoveryFailed,
+                                     environment.now(), i);
+    }
+    if (!action.recovered) {
+      outcome.first_failure += " (recovery failed)";
+      finish("recovery failed");
+      return outcome;
+    }
     outcome.items_reexecuted += rewind;
     i -= rewind;
   }
 
+  // Judge the resource balance before orderly shutdown: stop() releasing
+  // everything would mask descriptors the workload leaked.
+  if (recorder.has_value()) recorder->observe(i);
   app->stop(environment);
   outcome.survived = true;
+  finish("survived");
   return outcome;
 }
 
@@ -139,6 +265,58 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
     result.reports.push_back(std::move(report));
   }
   return result;
+}
+
+OracleReport run_oracle_crosscheck(const std::vector<corpus::SeedFault>& seeds,
+                                   const TrialConfig& base) {
+  OracleReport report;
+  report.rows.reserve(seeds.size());
+
+  analysis::RaceDetector detector;
+  for (const auto& seed : seeds) {
+    TrialConfig tc = base;
+    tc.seed = base.seed + util::fnv1a(seed.fault_id);
+
+    const auto plan = inject::plan_for(seed, tc.seed);
+    // Rollback-retry preserves state and keeps retrying, so the traced
+    // trial keeps executing racy items instead of dying on first failure.
+    recovery::RollbackRetry mechanism;
+    TrialObservation observation;
+    (void)run_trial(plan, mechanism, tc, &observation);
+
+    OracleRow row;
+    row.fault_id = seed.fault_id;
+    row.app = seed.app;
+    row.label = corpus::seed_class(seed);
+    row.trigger = seed.trigger;
+    row.race_labeled = seed.trigger == core::Trigger::kRaceCondition;
+
+    const auto races = detector.analyze(
+        std::span<const env::TraceEvent>(observation.trace));
+    row.race_reports = races.size();
+    row.detector_fired = !races.empty();
+    row.invariant_violations =
+        analysis::check_transcript(observation.transcript).size();
+
+    if (row.race_labeled) {
+      ++(row.detector_fired ? report.race_fired : report.race_silent);
+    } else {
+      switch (row.label) {
+        case core::FaultClass::kEnvironmentIndependent:
+          ++(row.detector_fired ? report.ei_fired : report.ei_silent);
+          break;
+        case core::FaultClass::kEnvDependentNonTransient:
+          ++(row.detector_fired ? report.edn_fired : report.edn_silent);
+          break;
+        case core::FaultClass::kEnvDependentTransient:
+          ++(row.detector_fired ? report.other_edt_fired
+                                : report.other_edt_silent);
+          break;
+      }
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
 }
 
 }  // namespace faultstudy::harness

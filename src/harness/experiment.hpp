@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/aggregate.hpp"
+#include "env/trace.hpp"
+#include "harness/transcript.hpp"
 #include "inject/specimen.hpp"
 #include "recovery/mechanism.hpp"
 
@@ -45,10 +47,23 @@ struct TrialOutcome {
   std::string first_failure;
 };
 
-/// Runs one fault under one mechanism.
+/// What a traced trial leaves behind for the analysis layer: the resource
+/// transcript (invariant checking) and the synchronization-event trace
+/// (happens-before race detection).
+struct TrialObservation {
+  Transcript transcript;
+  std::vector<env::TraceEvent> trace;
+};
+
+/// Runs one fault under one mechanism. With `observation` set, the trial
+/// runs traced: the environment's synchronization log is enabled and the
+/// harness records the resource-level transcript (descriptor and
+/// process-table deltas, disk writes, recovery windows) alongside the
+/// protocol events.
 TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        recovery::Mechanism& mechanism,
-                       const TrialConfig& config = {});
+                       const TrialConfig& config = {},
+                       TrialObservation* observation = nullptr);
 
 /// Mechanism factory, so the matrix can instantiate a fresh mechanism per
 /// trial (mechanisms hold per-trial checkpoints).
@@ -100,5 +115,60 @@ struct MatrixResult {
 MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                         const std::vector<NamedMechanism>& mechanisms,
                         const TrialConfig& config = {}, int repeats = 3);
+
+// --- detector-vs-taxonomy oracle cross-check ------------------------------
+//
+// The race detector is an *independent oracle* for the taxonomy's
+// environment-dependent-transient race class: a specimen whose armed fault
+// is labeled kRaceCondition must light the detector up (the racy
+// synchronization structure exists in every traced execution, whether or
+// not this interleaving triggered the failure), and a specimen whose fault
+// is environment-independent must never do so. Disagreement in either
+// direction means the classifier's label and the simulator's mechanics have
+// drifted apart.
+
+/// One specimen's verdicts.
+struct OracleRow {
+  std::string fault_id;
+  core::AppId app = core::AppId::kApache;
+  core::FaultClass label = core::FaultClass::kEnvironmentIndependent;
+  core::Trigger trigger = core::Trigger::kBoundaryInput;
+  bool race_labeled = false;   ///< trigger == kRaceCondition
+  bool detector_fired = false; ///< happens-before detector found >=1 race
+  std::size_t race_reports = 0;
+  std::size_t invariant_violations = 0;
+};
+
+struct OracleReport {
+  std::vector<OracleRow> rows;
+
+  // Confusion counts: race-labeled vs detector verdict, and the same for
+  // everything else broken out by fault class.
+  std::size_t race_fired = 0;
+  std::size_t race_silent = 0;
+  std::size_t ei_fired = 0;
+  std::size_t ei_silent = 0;
+  std::size_t edn_fired = 0;
+  std::size_t edn_silent = 0;
+  std::size_t other_edt_fired = 0;  ///< EDT but not race-labeled
+  std::size_t other_edt_silent = 0;
+
+  std::size_t total() const noexcept { return rows.size(); }
+  /// Fraction of specimens where the detector verdict matches the label
+  /// (race-labeled -> fired, everything else -> silent).
+  double agreement() const noexcept {
+    const std::size_t agree =
+        race_fired + ei_silent + edn_silent + other_edt_silent;
+    return rows.empty()
+               ? 1.0
+               : static_cast<double>(agree) / static_cast<double>(rows.size());
+  }
+};
+
+/// Runs one traced trial per seed (rollback-retry keeps the trial alive
+/// through transient failures) and compares the detector verdict against
+/// the taxonomy label. Deterministic in `base.seed`.
+OracleReport run_oracle_crosscheck(const std::vector<corpus::SeedFault>& seeds,
+                                   const TrialConfig& base = {});
 
 }  // namespace faultstudy::harness

@@ -21,6 +21,22 @@ std::string_view kind_name(EventKind kind) {
       return "RECOVERY FAILED";
     case EventKind::kVerdict:
       return "verdict";
+    case EventKind::kFdOpen:
+      return "fd-open";
+    case EventKind::kFdClose:
+      return "fd-close";
+    case EventKind::kProcSpawn:
+      return "proc-spawn";
+    case EventKind::kProcKill:
+      return "proc-kill";
+    case EventKind::kDiskWrite:
+      return "disk-write";
+    case EventKind::kCheckpoint:
+      return "checkpoint";
+    case EventKind::kRollback:
+      return "rollback";
+    case EventKind::kSignalRaise:
+      return "signal-raise";
   }
   return "?";
 }
@@ -42,8 +58,12 @@ std::size_t Transcript::count(EventKind kind) const noexcept {
 std::string Transcript::to_string() const {
   std::string out;
   for (const auto& e : events_) {
-    out += "[t=" + std::to_string(e.at) + "] item " + std::to_string(e.item) +
-           " " + std::string(kind_name(e.kind));
+    out += "[t=";
+    out += std::to_string(e.at);
+    out += "] item ";
+    out += std::to_string(e.item);
+    out += ' ';
+    out += kind_name(e.kind);
     if (!e.detail.empty()) {
       out += ": ";
       out += e.detail;

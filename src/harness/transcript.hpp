@@ -19,6 +19,17 @@ enum class EventKind : std::uint8_t {
   kRecoveryOk,
   kRecoveryFailed,
   kVerdict,
+  // -- resource-level events, the invariant checker's input
+  //    (analysis/invariant_checker.hpp). `item` carries the count/pid/bytes
+  //    noted per kind. --
+  kFdOpen,       ///< item = descriptors acquired beyond the running balance
+  kFdClose,      ///< item = descriptors released
+  kProcSpawn,    ///< item = pid of the spawned process
+  kProcKill,     ///< item = pid of the killed process
+  kDiskWrite,    ///< item = bytes written
+  kCheckpoint,   ///< a recovery checkpoint was taken
+  kRollback,     ///< item = workload items rewound past
+  kSignalRaise,  ///< item = pid the signal targets
 };
 
 struct Event {
