@@ -9,11 +9,19 @@
 // `mine` accepts either an application name (generates the calibrated
 // synthetic corpus) or a path to a tracker dump / mbox file written by
 // `corpus` (or by you).
+//
+// A global `--threads N` flag (anywhere on the command line) sets the
+// execution lanes for `matrix` and `mine`; results are bit-identical for
+// every value. Default: the FAULTSTUDY_THREADS environment variable, else
+// one lane per hardware thread.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "corpus/serialize.hpp"
 #include "corpus/synth.hpp"
@@ -28,6 +36,9 @@ using namespace faultstudy;
 
 namespace {
 
+/// Lanes for matrix/mine sweeps; 0 = auto (env var, else hardware).
+std::size_t g_threads = 0;
+
 int usage() {
   std::fputs(
       "usage:\n"
@@ -37,7 +48,10 @@ int usage() {
       "  faultstudy_cli mine <apache|gnome|mysql|dump-file>\n"
       "  faultstudy_cli simulate <fault-id> <mechanism>\n"
       "  faultstudy_cli matrix\n"
-      "  faultstudy_cli report <out.md>                (full study report)\n",
+      "  faultstudy_cli report <out.md>                (full study report)\n"
+      "options:\n"
+      "  --threads N   execution lanes for matrix/mine (default: "
+      "FAULTSTUDY_THREADS, else hardware; results identical for any N)\n",
       stderr);
   return 2;
 }
@@ -143,14 +157,17 @@ void print_study(const mining::PipelineResult& result) {
 }
 
 int cmd_mine(const std::string& target) {
+  mining::PipelineOptions options;
+  options.threads = g_threads;
   if (target == "apache" || target == "gnome") {
     const auto tracker = target == "apache" ? corpus::make_apache_tracker()
                                             : corpus::make_gnome_tracker();
-    print_study(mining::run_tracker_pipeline(tracker));
+    print_study(mining::run_tracker_pipeline(tracker, options));
     return 0;
   }
   if (target == "mysql") {
-    print_study(mining::run_mailinglist_pipeline(corpus::make_mysql_list()));
+    print_study(
+        mining::run_mailinglist_pipeline(corpus::make_mysql_list(), options));
     return 0;
   }
   // A file: sniff the format.
@@ -168,7 +185,7 @@ int cmd_mine(const std::string& target) {
       std::fprintf(stderr, "mbox parse error: %s\n", list.error().c_str());
       return 1;
     }
-    print_study(mining::run_mailinglist_pipeline(list.value()));
+    print_study(mining::run_mailinglist_pipeline(list.value(), options));
     return 0;
   }
   const auto tracker = corpus::tracker_from_text(text);
@@ -176,7 +193,7 @@ int cmd_mine(const std::string& target) {
     std::fprintf(stderr, "tracker parse error: %s\n", tracker.error().c_str());
     return 1;
   }
-  print_study(mining::run_tracker_pipeline(tracker.value()));
+  print_study(mining::run_tracker_pipeline(tracker.value(), options));
   return 0;
 }
 
@@ -219,8 +236,11 @@ int cmd_simulate(const std::string& fault_id, const std::string& mechanism) {
 }
 
 int cmd_matrix() {
+  harness::TrialConfig config;
+  config.threads = g_threads;
   const auto matrix = harness::run_matrix(corpus::all_seeds(),
-                                          harness::standard_mechanisms());
+                                          harness::standard_mechanisms(),
+                                          config);
   report::AsciiTable t({"mechanism", "EI", "EDN", "EDT", "overall"});
   for (const auto& r : matrix.reports) {
     const auto cell = [&](core::FaultClass c) {
@@ -240,14 +260,28 @@ int cmd_matrix() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Pull the global --threads flag out, keep the rest positional.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) return usage();
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1) return usage();
+      g_threads = static_cast<std::size_t>(n);
+      continue;
+    }
+    args.push_back(arg);
+  }
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
   if (cmd == "classify") return cmd_classify();
   if (cmd == "taxonomy") return cmd_taxonomy();
-  if (cmd == "corpus" && argc == 4) return cmd_corpus(argv[2], argv[3]);
-  if (cmd == "mine" && argc == 3) return cmd_mine(argv[2]);
-  if (cmd == "simulate" && argc == 4) return cmd_simulate(argv[2], argv[3]);
+  if (cmd == "corpus" && args.size() == 3) return cmd_corpus(args[1], args[2]);
+  if (cmd == "mine" && args.size() == 2) return cmd_mine(args[1]);
+  if (cmd == "simulate" && args.size() == 3)
+    return cmd_simulate(args[1], args[2]);
   if (cmd == "matrix") return cmd_matrix();
-  if (cmd == "report" && argc == 3) return cmd_report(argv[2]);
+  if (cmd == "report" && args.size() == 2) return cmd_report(args[1]);
   return usage();
 }

@@ -1,21 +1,46 @@
 // Recovery lab: arm one fault from the study into its simulated application
-// and watch a recovery mechanism fight it, step by step.
+// and watch a recovery mechanism fight it, step by step. After the narrated
+// trial, a stability sweep re-runs the same (fault, mechanism) cell across
+// differently-seeded trials on the parallel executor and reports the
+// survival fraction (races are probabilistic; one trial can mislead).
 //
 //   ./build/examples/recovery_lab [fault-id] [mechanism]
+//       [--repeats R] [--threads N]
 //   e.g. ./build/examples/recovery_lab apache-edt-02 process-pairs
-//        ./build/examples/recovery_lab apache-edn-02 cold-restart
+//        ./build/examples/recovery_lab apache-edn-02 cold-restart --threads 4
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "corpus/seeds.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/transcript.hpp"
+#include "util/rng.hpp"
 
 using namespace faultstudy;
 
 int main(int argc, char** argv) {
-  const std::string fault_id = argc > 1 ? argv[1] : "apache-edt-02";
-  const std::string mechanism_name = argc > 2 ? argv[2] : "process-pairs";
+  std::vector<std::string> args;
+  std::size_t threads = 0;  // 0 = auto (FAULTSTUDY_THREADS, else hardware)
+  std::size_t repeats = 16;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" || arg == "--repeats") {
+      const long n = i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : -1;
+      if (n < 0) {
+        std::fprintf(stderr, "%s needs a non-negative integer\n", arg.c_str());
+        return 1;
+      }
+      (arg == "--threads" ? threads : repeats) = static_cast<std::size_t>(n);
+      continue;
+    }
+    args.push_back(arg);
+  }
+  const std::string fault_id = !args.empty() ? args[0] : "apache-edt-02";
+  const std::string mechanism_name =
+      args.size() > 1 ? args[1] : "process-pairs";
 
   const corpus::SeedFault* seed = nullptr;
   const auto seeds = corpus::all_seeds();
@@ -104,5 +129,30 @@ int main(int argc, char** argv) {
   std::fputs(transcript.to_string().c_str(), stdout);
   std::printf("\nfailures observed: %zu, recoveries: %zu\n",
               transcript.count(harness::EventKind::kFailure), recoveries);
+
+  if (repeats > 0) {
+    // Stability sweep: the narrated trial is one draw; races and timing
+    // phases are probabilistic, so re-run the cell across `repeats`
+    // differently-seeded trials on the parallel executor.
+    const auto outcomes = harness::parallel_map<harness::TrialOutcome>(
+        repeats, threads, [&](std::size_t r) {
+          harness::TrialConfig config;
+          config.seed = 1000 + static_cast<std::uint64_t>(r) * 131 +
+                        util::fnv1a(seed->fault_id);
+          const auto repeat_plan = inject::plan_for(*seed, config.seed);
+          auto repeat_mechanism = factory();
+          return harness::run_trial(repeat_plan, *repeat_mechanism, config);
+        });
+    std::size_t observed = 0, wins = 0;
+    for (const auto& o : outcomes) {
+      if (!o.failure_observed) continue;
+      ++observed;
+      if (o.survived) ++wins;
+    }
+    std::printf("stability: survived %zu/%zu fault-observing trials "
+                "(%zu of %zu repeats, %zu lanes)\n",
+                wins, observed, observed, repeats,
+                harness::effective_threads(threads));
+  }
   return survived ? 0 : 2;
 }

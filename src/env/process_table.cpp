@@ -64,11 +64,17 @@ const Process* ProcessTable::find(Pid pid) const {
 
 std::vector<Pid> ProcessTable::owned_by(const std::string& owner) const {
   std::vector<Pid> out;
+  owned_by(owner, out);
+  return out;
+}
+
+void ProcessTable::owned_by(const std::string& owner,
+                            std::vector<Pid>& out) const {
+  out.clear();
   out.reserve(procs_.size());
   for (const auto& [pid, p] : procs_) {
     if (p.owner == owner) out.push_back(pid);
   }
-  return out;
 }
 
 }  // namespace faultstudy::env

@@ -60,6 +60,10 @@ class ProcessTable {
   /// All live pids owned by `owner`.
   std::vector<Pid> owned_by(const std::string& owner) const;
 
+  /// Same, written into a caller-provided vector (cleared first) so hot
+  /// observers can reuse one allocation across calls.
+  void owned_by(const std::string& owner, std::vector<Pid>& out) const;
+
  private:
   std::size_t capacity_;
   std::unordered_map<Pid, Process> procs_;

@@ -6,6 +6,7 @@
 #include "analysis/invariant_checker.hpp"
 #include "analysis/race_detector.hpp"
 #include "core/rules.hpp"
+#include "harness/parallel.hpp"
 #include "util/rng.hpp"
 #include "recovery/app_specific.hpp"
 #include "recovery/process_pairs.hpp"
@@ -28,7 +29,7 @@ class ResourceRecorder {
       : transcript_(transcript), environment_(environment),
         owner_(std::move(owner)) {
     fds_ = environment_.fds().held_by(owner_);
-    pids_ = environment_.processes().owned_by(owner_);
+    environment_.processes().owned_by(owner_, pids_);
     std::sort(pids_.begin(), pids_.end());
     disk_used_ = environment_.disk().used();
   }
@@ -46,21 +47,23 @@ class ResourceRecorder {
     }
     fds_ = fds;
 
-    std::vector<env::Pid> pids = environment_.processes().owned_by(owner_);
-    std::sort(pids.begin(), pids.end());
-    for (const env::Pid pid : pids) {
+    // scratch_ is a member so the per-observation snapshot reuses one
+    // allocation for the whole trial.
+    environment_.processes().owned_by(owner_, scratch_);
+    std::sort(scratch_.begin(), scratch_.end());
+    for (const env::Pid pid : scratch_) {
       if (!std::binary_search(pids_.begin(), pids_.end(), pid)) {
         transcript_.record(EventKind::kProcSpawn, environment_.now(), pid,
                            owner_);
       }
     }
     for (const env::Pid pid : pids_) {
-      if (!std::binary_search(pids.begin(), pids.end(), pid)) {
+      if (!std::binary_search(scratch_.begin(), scratch_.end(), pid)) {
         transcript_.record(EventKind::kProcKill, environment_.now(), pid,
                            owner_);
       }
     }
-    pids_ = std::move(pids);
+    std::swap(pids_, scratch_);
 
     const std::uint64_t used = environment_.disk().used();
     if (used > disk_used_) {
@@ -77,6 +80,7 @@ class ResourceRecorder {
   std::string owner_;
   std::size_t fds_ = 0;
   std::vector<env::Pid> pids_;
+  std::vector<env::Pid> scratch_;
   std::uint64_t disk_used_ = 0;
 };
 
@@ -88,15 +92,18 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        TrialObservation* observation) {
   TrialOutcome outcome;
 
-  inject::InjectionPlan p = plan;
-  p.env_config.seed = config.seed;
-  p.workload.seed = config.seed ^ 0xA0;
+  // Patch the trial seed into cheap copies of the two config structs rather
+  // than copying the whole plan (seed strings, arming closure and all).
+  env::EnvironmentConfig env_config = plan.env_config;
+  env_config.seed = config.seed;
+  apps::WorkloadSpec workload_spec = plan.workload;
+  workload_spec.seed = config.seed ^ 0xA0;
 
-  env::Environment environment(p.env_config);
+  env::Environment environment(env_config);
   if (observation != nullptr) environment.trace().enable();
 
-  auto app = inject::make_app(p.seed.app);
-  app->arm_fault(p.fault);
+  auto app = inject::make_app(plan.seed.app);
+  app->arm_fault(plan.fault);
 
   const auto finish = [&](std::string_view verdict) {
     if (observation == nullptr) return;
@@ -110,7 +117,7 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
     finish("failed to start");
     return outcome;
   }
-  p.arm_environment(environment, *app);
+  plan.arm_environment(environment, *app);
   mechanism.attach(*app, environment);
 
   // The resource baseline is taken after start + arming: the recorder sees
@@ -123,16 +130,24 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
                                    std::string(app->name()));
   }
 
-  const apps::Workload workload = apps::make_workload(p.seed.app, p.workload);
+  const apps::Workload workload =
+      apps::make_workload(plan.seed.app, workload_spec);
   const std::size_t total_items = workload.size() * config.cycles;
 
   std::size_t i = 0;
   std::size_t consecutive = 0;  // consecutive failures of the current item
+  apps::WorkItem retry_item;    // scratch for mechanism-adjusted retries
   while (i < total_items) {
-    apps::WorkItem item = workload.items[i % workload.size()];
-    if (consecutive > 0) mechanism.prepare_retry(item);
+    // The common path hands the workload's own item to the app; only a
+    // retry that a mechanism may rewrite pays for a copy.
+    const apps::WorkItem* item = &workload.items[i % workload.size()];
+    if (consecutive > 0) {
+      retry_item = *item;
+      mechanism.prepare_retry(retry_item);
+      item = &retry_item;
+    }
 
-    const apps::StepResult result = app->handle(item, environment);
+    const apps::StepResult result = app->handle(*item, environment);
     if (recorder.has_value()) {
       recorder->observe(i);
       observation->transcript.record(
@@ -223,43 +238,66 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
   MatrixResult result;
   result.fault_count = seeds.size();
   if (repeats < 1) repeats = 1;
-
-  for (const auto& nm : mechanisms) {
-    MechanismReport report;
-    report.mechanism = nm.name;
-    {
+  if (seeds.empty() || mechanisms.empty()) {
+    for (const auto& nm : mechanisms) {
+      MechanismReport report;
+      report.mechanism = nm.name;
       auto probe = nm.make();
       report.generic = probe->is_generic();
+      result.reports.push_back(std::move(report));
     }
+    return result;
+  }
 
-    for (const auto& seed : seeds) {
-      const auto cls = static_cast<std::size_t>(corpus::seed_class(seed));
-      int survived_votes = 0;
-      int observed_votes = 0;
-      bool lost_state = false;
-
-      for (int r = 0; r < repeats; ++r) {
-        TrialConfig tc = config;
-        tc.seed = config.seed + static_cast<std::uint64_t>(r) * 7919 +
-                  util::fnv1a(seed.fault_id);
-        const auto plan = inject::plan_for(seed, tc.seed);
-        auto mechanism = nm.make();
-        const TrialOutcome outcome = run_trial(plan, *mechanism, tc);
-        if (outcome.failure_observed) {
-          ++observed_votes;
-          if (outcome.survived) ++survived_votes;
-          if (!outcome.state_preserved) lost_state = true;
+  // Majority vote over the repeats of one (mechanism, seed) cell. Every
+  // trial seed is derived from the fault id, so cells are independent and
+  // farm out to the pool; the reduction below runs on this thread in index
+  // order, making the MatrixResult identical for every thread count.
+  struct CellVotes {
+    int survived = 0;
+    int observed = 0;
+    bool lost_state = false;
+  };
+  const std::size_t cell_count = mechanisms.size() * seeds.size();
+  const auto cells = parallel_map<CellVotes>(
+      cell_count, config.threads, [&](std::size_t cell) {
+        const NamedMechanism& nm = mechanisms[cell / seeds.size()];
+        const corpus::SeedFault& seed = seeds[cell % seeds.size()];
+        CellVotes votes;
+        for (int r = 0; r < repeats; ++r) {
+          TrialConfig tc = config;
+          tc.seed = config.seed + static_cast<std::uint64_t>(r) * 7919 +
+                    util::fnv1a(seed.fault_id);
+          const auto plan = inject::plan_for(seed, tc.seed);
+          auto mechanism = nm.make();
+          const TrialOutcome outcome = run_trial(plan, *mechanism, tc);
+          if (outcome.failure_observed) {
+            ++votes.observed;
+            if (outcome.survived) ++votes.survived;
+            if (!outcome.state_preserved) votes.lost_state = true;
+          }
         }
-      }
+        return votes;
+      });
 
-      if (observed_votes == 0) {
+  for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+    MechanismReport report;
+    report.mechanism = mechanisms[m].name;
+    {
+      auto probe = mechanisms[m].make();
+      report.generic = probe->is_generic();
+    }
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const CellVotes& votes = cells[m * seeds.size() + s];
+      if (votes.observed == 0) {
         ++report.vacuous;
         continue;
       }
+      const auto cls = static_cast<std::size_t>(corpus::seed_class(seeds[s]));
       ++report.total[cls];
-      if (survived_votes * 2 > observed_votes) {
+      if (votes.survived * 2 > votes.observed) {
         ++report.survived[cls];
-        if (lost_state) ++report.state_losses;
+        if (votes.lost_state) ++report.state_losses;
       }
     }
     result.reports.push_back(std::move(report));
@@ -270,34 +308,41 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
 OracleReport run_oracle_crosscheck(const std::vector<corpus::SeedFault>& seeds,
                                    const TrialConfig& base) {
   OracleReport report;
-  report.rows.reserve(seeds.size());
+  // One traced trial per seed, each with its own detector (analyze() is
+  // stateless, but per-trial instances keep the lanes share-nothing). Rows
+  // land in their seed's slot, so the report order never depends on timing.
+  report.rows = parallel_map<OracleRow>(
+      seeds.size(), base.threads, [&](std::size_t idx) {
+        const corpus::SeedFault& seed = seeds[idx];
+        TrialConfig tc = base;
+        tc.seed = base.seed + util::fnv1a(seed.fault_id);
 
-  analysis::RaceDetector detector;
-  for (const auto& seed : seeds) {
-    TrialConfig tc = base;
-    tc.seed = base.seed + util::fnv1a(seed.fault_id);
+        const auto plan = inject::plan_for(seed, tc.seed);
+        // Rollback-retry preserves state and keeps retrying, so the traced
+        // trial keeps executing racy items instead of dying on first
+        // failure.
+        recovery::RollbackRetry mechanism;
+        TrialObservation observation;
+        (void)run_trial(plan, mechanism, tc, &observation);
 
-    const auto plan = inject::plan_for(seed, tc.seed);
-    // Rollback-retry preserves state and keeps retrying, so the traced
-    // trial keeps executing racy items instead of dying on first failure.
-    recovery::RollbackRetry mechanism;
-    TrialObservation observation;
-    (void)run_trial(plan, mechanism, tc, &observation);
+        OracleRow row;
+        row.fault_id = seed.fault_id;
+        row.app = seed.app;
+        row.label = corpus::seed_class(seed);
+        row.trigger = seed.trigger;
+        row.race_labeled = seed.trigger == core::Trigger::kRaceCondition;
 
-    OracleRow row;
-    row.fault_id = seed.fault_id;
-    row.app = seed.app;
-    row.label = corpus::seed_class(seed);
-    row.trigger = seed.trigger;
-    row.race_labeled = seed.trigger == core::Trigger::kRaceCondition;
+        analysis::RaceDetector detector;
+        const auto races = detector.analyze(
+            std::span<const env::TraceEvent>(observation.trace));
+        row.race_reports = races.size();
+        row.detector_fired = !races.empty();
+        row.invariant_violations =
+            analysis::check_transcript(observation.transcript).size();
+        return row;
+      });
 
-    const auto races = detector.analyze(
-        std::span<const env::TraceEvent>(observation.trace));
-    row.race_reports = races.size();
-    row.detector_fired = !races.empty();
-    row.invariant_violations =
-        analysis::check_transcript(observation.transcript).size();
-
+  for (const OracleRow& row : report.rows) {
     if (row.race_labeled) {
       ++(row.detector_fired ? report.race_fired : report.race_silent);
     } else {
@@ -314,7 +359,6 @@ OracleReport run_oracle_crosscheck(const std::vector<corpus::SeedFault>& seeds,
           break;
       }
     }
-    report.rows.push_back(std::move(row));
   }
   return report;
 }

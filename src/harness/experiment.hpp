@@ -30,6 +30,12 @@ struct TrialConfig {
   std::size_t per_item_retries = 8;  ///< consecutive failures of one item
   std::size_t recovery_budget = 40;  ///< total recoveries per trial
   std::uint64_t seed = 99;
+  /// Execution lanes for run_matrix / run_oracle_crosscheck sweeps.
+  /// 0 = auto (FAULTSTUDY_THREADS env var, else hardware_concurrency);
+  /// 1 = the exact serial code path. Any value produces bit-identical
+  /// results — trials derive their RNG streams from fault ids, results
+  /// land in per-index slots, and reduction is serial in index order.
+  std::size_t threads = 0;
 };
 
 struct TrialOutcome {
@@ -111,7 +117,9 @@ struct MatrixResult {
 /// Runs the full fault x mechanism matrix over the given seeds. `repeats`
 /// runs each (fault, mechanism) cell several times with different seeds and
 /// counts the cell as survived when a majority of repeats survive (races
-/// are probabilistic).
+/// are probabilistic). Cells run on `config.threads` lanes; the result is
+/// identical for every thread count. Mechanism factories must be safe to
+/// invoke concurrently (the standard roster's stateless lambdas are).
 MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                         const std::vector<NamedMechanism>& mechanisms,
                         const TrialConfig& config = {}, int repeats = 3);
@@ -167,7 +175,9 @@ struct OracleReport {
 
 /// Runs one traced trial per seed (rollback-retry keeps the trial alive
 /// through transient failures) and compares the detector verdict against
-/// the taxonomy label. Deterministic in `base.seed`.
+/// the taxonomy label. Deterministic in `base.seed`; trials run on
+/// `base.threads` lanes, each with its own detector, and rows come out in
+/// seed order for every thread count.
 OracleReport run_oracle_crosscheck(const std::vector<corpus::SeedFault>& seeds,
                                    const TrialConfig& base = {});
 

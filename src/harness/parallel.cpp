@@ -1,0 +1,10 @@
+#include "harness/parallel.hpp"
+
+namespace faultstudy::harness {
+
+void parallel_for_index(std::size_t n, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn) {
+  util::parallel_for_index(n, threads, fn);
+}
+
+}  // namespace faultstudy::harness

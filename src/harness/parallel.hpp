@@ -1,0 +1,48 @@
+// Deterministic parallel trial execution for the experiment harness.
+//
+// The recovery matrix and the oracle cross-check are embarrassingly
+// parallel: every (mechanism, seed) cell and every traced trial derives its
+// RNG seed from util::fnv1a(fault_id), not from any shared stream, so cells
+// can run on any thread in any order without perturbing each other. The
+// determinism contract layered on util::ThreadPool is:
+//
+//   1. each unit of work writes only into the result slot owned by its
+//      index (parallel_map pre-sizes the output);
+//   2. all reduction into aggregate reports happens on the calling thread,
+//      in index order, after the sweep drains;
+//   3. thread count therefore changes wall-clock time and nothing else —
+//      threads=1 runs the exact serial code path, and threads=N produces a
+//      bit-identical MatrixResult / OracleReport.
+//
+// Thread counts resolve through util::resolve_threads: an explicit
+// TrialConfig/flag value wins, else FAULTSTUDY_THREADS, else
+// hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace faultstudy::harness {
+
+/// Lanes a harness sweep will actually use (0 = auto).
+inline std::size_t effective_threads(std::size_t requested) noexcept {
+  return util::resolve_threads(requested);
+}
+
+/// fn(i) for every i in [0, n) across `threads` lanes (0 = auto).
+void parallel_for_index(std::size_t n, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Index-ordered map: out[i] = fn(i) for any thread count.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, std::size_t threads, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for_index(n, threads,
+                     [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace faultstudy::harness

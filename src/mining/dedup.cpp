@@ -8,6 +8,7 @@
 #include "text/stopwords.hpp"
 #include "text/tfidf.hpp"
 #include "text/tokenizer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace faultstudy::mining {
 
@@ -58,27 +59,34 @@ std::vector<std::vector<std::size_t>> cluster_documents(
   UnionFind uf(n);
   if (n < 2) return uf.groups();
 
+  // Per-document work (tokenize, vectorize, sign) fans out to the pool;
+  // every lane writes only its own index's slots. Model fitting, candidate
+  // generation, and the union-find merge stay on this thread.
+  util::ThreadPool pool(util::resolve_threads(params.threads));
+
   // Tokenize once.
   std::vector<std::vector<std::string>> tokens(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  pool.for_index(n, [&](std::size_t i) {
     tokens[i] =
         text::stem_all(text::remove_stopwords(text::tokenize(docs[i].text)));
-  }
+  });
 
   // TF-IDF model over the documents being clustered.
   text::TfIdfModel model;
   model.fit(tokens);
-  std::vector<text::DocVector> vectors(n);
-  for (std::size_t i = 0; i < n; ++i) vectors[i] = model.transform(tokens[i]);
 
   // MinHash/LSH candidates.
   text::MinHashParams mh;
   mh.num_hashes = params.num_hashes;
   mh.band_size = params.band_size;
   mh.shingle_size = params.shingle_size;
-  text::MinHasher hasher(mh);
+  const text::MinHasher hasher(mh);
+  std::vector<text::DocVector> vectors(n);
   std::vector<text::Signature> sigs(n);
-  for (std::size_t i = 0; i < n; ++i) sigs[i] = hasher.signature(tokens[i]);
+  pool.for_index(n, [&](std::size_t i) {
+    vectors[i] = model.transform(tokens[i]);
+    sigs[i] = hasher.signature(tokens[i]);
+  });
 
   for (const auto& [i, j] : text::lsh_candidates(sigs, mh)) {
     if (text::cosine(vectors[i], vectors[j]) >= params.confirm_threshold) {

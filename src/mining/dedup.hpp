@@ -28,6 +28,11 @@ struct DedupParams {
   std::uint32_t num_hashes = 64;
   std::uint32_t band_size = 2;
   std::uint32_t shingle_size = 3;
+  /// Lanes for the per-document tokenize/vectorize/signature fan-out
+  /// (0 = auto via FAULTSTUDY_THREADS / hardware_concurrency, 1 = serial).
+  /// Candidate generation and the union-find merge stay serial, so the
+  /// clustering is identical for every thread count.
+  std::size_t threads = 0;
 };
 
 /// Clusters of indices into the input vector. Every document appears in

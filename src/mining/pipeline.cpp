@@ -6,6 +6,7 @@
 #include "corpus/seeds.hpp"
 #include "corpus/synth.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace faultstudy::mining {
 
@@ -65,6 +66,14 @@ int parse_release_ordinal(const std::string& body,
   return -1;
 }
 
+/// Dedup parameters with the pipeline's thread count filled in when the
+/// dedup stage does not set its own.
+DedupParams dedup_params(const PipelineOptions& options) {
+  DedupParams params = options.dedup;
+  if (params.threads == 0) params.threads = options.threads;
+  return params;
+}
+
 }  // namespace
 
 PipelineResult run_tracker_pipeline(const corpus::BugTracker& tracker,
@@ -80,11 +89,15 @@ PipelineResult run_tracker_pipeline(const corpus::BugTracker& tracker,
     d.text = r.text.title + ' ' + r.text.how_to_repeat + ' ' + r.text.body;
     docs.push_back(std::move(d));
   }
-  const auto clusters = cluster_documents(docs, options.dedup);
+  const auto clusters = cluster_documents(docs, dedup_params(options));
   result.clusters = clusters.size();
 
+  // Each cluster's merge + classification is independent; bugs land in
+  // their cluster's slot, keeping output order identical to the serial run.
   const core::RuleClassifier classifier(options.policy);
-  for (const auto& cluster : clusters) {
+  result.bugs = util::parallel_map<UniqueBug>(
+      clusters.size(), options.threads, [&](std::size_t ci) {
+    const auto& cluster = clusters[ci];
     // Primary report = earliest by date (ties broken by id).
     std::size_t primary = cluster.front();
     for (std::size_t idx : cluster) {
@@ -127,8 +140,8 @@ PipelineResult run_tracker_pipeline(const corpus::BugTracker& tracker,
         break;
       }
     }
-    result.bugs.push_back(std::move(bug));
-  }
+    return bug;
+  });
   return result;
 }
 
@@ -146,25 +159,29 @@ PipelineResult run_mailinglist_pipeline(const corpus::MailingList& list,
     d.text = threads[i].root.subject + ' ' + threads[i].root.body;
     docs.push_back(std::move(d));
   }
-  const auto clusters = cluster_documents(docs, options.dedup);
+  const auto clusters = cluster_documents(docs, dedup_params(options));
   result.clusters = clusters.size();
 
+  // Fan out per cluster as in the tracker path; clusters whose version is
+  // not a known production release come back with bucket < 0 and are
+  // dropped by the serial, cluster-ordered filter below.
   const core::RuleClassifier classifier(options.policy);
-  for (const auto& cluster : clusters) {
+  auto bugs = util::parallel_map<UniqueBug>(
+      clusters.size(), options.threads, [&](std::size_t ci) {
+    const auto& cluster = clusters[ci];
     std::size_t primary = cluster.front();
     for (std::size_t idx : cluster) {
       if (threads[idx].root.date < threads[primary].root.date) primary = idx;
     }
     const MinedThread& prim = threads[primary];
 
-    const int bucket =
-        parse_release_ordinal(prim.root.body, corpus::mysql_releases());
-    if (bucket < 0) continue;  // version not a known production release
-
     UniqueBug bug;
+    bug.bucket =
+        parse_release_ordinal(prim.root.body, corpus::mysql_releases());
+    if (bug.bucket < 0) return bug;  // dropped after the sweep
+
     bug.app = core::AppId::kMysql;
     bug.title = prim.root.subject;
-    bug.bucket = bucket;
 
     core::ReportText combined;
     combined.title = prim.root.subject;
@@ -191,7 +208,12 @@ PipelineResult run_mailinglist_pipeline(const corpus::MailingList& list,
         break;
       }
     }
-    result.bugs.push_back(std::move(bug));
+    return bug;
+  });
+
+  result.bugs.reserve(bugs.size());
+  for (auto& bug : bugs) {
+    if (bug.bucket >= 0) result.bugs.push_back(std::move(bug));
   }
   return result;
 }

@@ -48,6 +48,12 @@ struct PipelineResult {
 struct PipelineOptions {
   DedupParams dedup;
   core::RulePolicy policy;  ///< classification rule policy (paper default)
+  /// Lanes for the per-report/per-cluster fan-out (tokenize, TF-IDF,
+  /// MinHash, classification). 0 = auto (FAULTSTUDY_THREADS env var, else
+  /// hardware_concurrency), 1 = the serial path. The merge is serial in
+  /// cluster order, so the result is identical for every thread count.
+  /// Also used for dedup when `dedup.threads` is 0.
+  std::size_t threads = 0;
 };
 
 /// Apache/GNOME path. GNOME buckets by report date (the modules release
