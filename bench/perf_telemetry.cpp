@@ -1,0 +1,197 @@
+// Telemetry overhead benchmarks and gates (google-benchmark).
+//
+// Before benchmarking, main() runs two gates on the full recovery matrix:
+//
+//   identity   an instrumented run_matrix must produce identical metric
+//              snapshots and span traces for 1 and 4 lanes (the sim-domain
+//              determinism contract);
+//   overhead   the instrumented matrix must cost at most 5% more wall time
+//              than the no-sink run (FAULTSTUDY_TELEMETRY_GATE overrides
+//              the percentage; 0 skips the gate). The no-sink path is also
+//              timed against itself as a noise floor for the disabled-path
+//              claim: with no sink attached only a null check remains, and
+//              a FAULTSTUDY_TELEMETRY=0 build removes even that.
+//
+// Benchmark rows:
+//   BM_MatrixBare/T        recovery matrix, no telemetry sink
+//   BM_MatrixTelemetry/T   recovery matrix, instrumented + folded
+//   BM_RegistryCounterAdd  one sharded counter increment
+//   BM_HistogramObserve    one fixed-bucket observation
+//   BM_SpanOpenClose       one sim-domain RAII span
+//   BM_NullSinkBranch      the disabled path: FS_TELEM on a null sink
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "corpus/seeds.hpp"
+#include "env/clock.hpp"
+#include "harness/experiment.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trial.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+void BM_MatrixBare(benchmark::State& state) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_matrix(seeds, mechanisms, config));
+  }
+}
+BENCHMARK(BM_MatrixBare)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixTelemetry(benchmark::State& state) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    telemetry::StudyTelemetry telem;
+    benchmark::DoNotOptimize(
+        harness::run_matrix(seeds, mechanisms, config, 3, &telem));
+    benchmark::DoNotOptimize(telem.metrics.snapshot());
+  }
+}
+BENCHMARK(BM_MatrixTelemetry)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_RegistryCounterAdd(benchmark::State& state) {
+  telemetry::MetricsRegistry registry(4);
+  const auto id = registry.counter("bench/counter");
+  for (auto _ : state) {
+    registry.add(id, 1, 0);
+  }
+  benchmark::DoNotOptimize(registry.snapshot());
+}
+BENCHMARK(BM_RegistryCounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  telemetry::Histogram hist(telemetry::default_tick_bounds());
+  std::int64_t value = 0;
+  for (auto _ : state) {
+    hist.observe(value++ & 0x3FFF);
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SpanOpenClose(benchmark::State& state) {
+  env::VirtualClock clock;
+  telemetry::SpanTracer tracer;
+  tracer.bind_sim(&clock);
+  for (auto _ : state) {
+    { telemetry::SpanScope scope(&tracer, "bench"); }
+    if (tracer.spans().size() > (1u << 16)) tracer.clear();
+  }
+  benchmark::DoNotOptimize(tracer.spans().size());
+}
+BENCHMARK(BM_SpanOpenClose);
+
+void BM_NullSinkBranch(benchmark::State& state) {
+  telemetry::TrialCounters* sink = nullptr;
+  benchmark::DoNotOptimize(sink);
+  for (auto _ : state) {
+    FS_TELEM(sink, resources.sched_draws++);
+  }
+}
+BENCHMARK(BM_NullSinkBranch);
+
+double median_matrix_millis(bool instrumented, int rounds) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = 1;  // the serial path isolates per-trial overhead
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    telemetry::StudyTelemetry telem;
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(harness::run_matrix(
+        seeds, mechanisms, config, 3, instrumented ? &telem : nullptr));
+    const auto stop = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Full-corpus determinism gate: instrumented snapshots and Chrome traces
+/// must be identical for 1 and 4 lanes.
+bool telemetry_identity_ok() {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  const auto run = [&](std::size_t threads) {
+    harness::TrialConfig config;
+    config.threads = threads;
+    auto telem = std::make_unique<telemetry::StudyTelemetry>();
+    harness::run_matrix(seeds, mechanisms, config, 3, telem.get());
+    return telem;
+  };
+  const auto serial = run(1);
+  const auto wide = run(4);
+  if (serial->metrics.snapshot() != wide->metrics.snapshot()) return false;
+  if (serial->traces.size() != wide->traces.size()) return false;
+  for (std::size_t i = 0; i < serial->traces.size(); ++i) {
+    if (serial->traces[i].first != wide->traces[i].first) return false;
+    if (serial->traces[i].second.spans() != wide->traces[i].second.spans()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double gate_percent() {
+  if (const char* env = std::getenv("FAULTSTUDY_TELEMETRY_GATE")) {
+    return std::strtod(env, nullptr);
+  }
+  return 5.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!telemetry_identity_ok()) {
+    std::fprintf(stderr,
+                 "FATAL: instrumented matrix differs between 1 and 4 lanes\n");
+    return 1;
+  }
+  std::printf("telemetry identity check: OK (snapshots + traces, 1 vs 4 "
+              "lanes)\n");
+
+  const double gate = gate_percent();
+  if (gate > 0.0) {
+    constexpr int kRounds = 5;
+    // Warm-up evens out first-touch allocation between the variants.
+    (void)median_matrix_millis(false, 1);
+    const double bare = median_matrix_millis(false, kRounds);
+    const double bare_again = median_matrix_millis(false, kRounds);
+    const double instrumented = median_matrix_millis(true, kRounds);
+    const double overhead = (instrumented - bare) / bare * 100.0;
+    const double noise = (bare_again - bare) / bare * 100.0;
+    std::printf("telemetry overhead gate: bare %.1f ms, instrumented %.1f ms "
+                "-> %+.2f%% (noise floor %+.2f%%, gate %.1f%%)\n",
+                bare, instrumented, overhead, noise, gate);
+    if (overhead > gate) {
+      std::fprintf(stderr, "FATAL: telemetry overhead %+.2f%% exceeds %.1f%%\n",
+                   overhead, gate);
+      return 1;
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

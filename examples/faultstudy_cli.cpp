@@ -13,12 +13,21 @@
 // A global `--threads N` flag (anywhere on the command line) sets the
 // execution lanes for `matrix` and `mine`; results are bit-identical for
 // every value. Default: the FAULTSTUDY_THREADS environment variable, else
-// one lane per hardware thread.
+// one lane per hardware thread. `--seed N` overrides the base trial seed.
+//
+// Telemetry (compiled in by default, see FAULTSTUDY_TELEMETRY):
+//   --telemetry=<path>   metrics snapshot; `.json` extension selects the
+//                        JSON exporter, anything else Prometheus text.
+//   --trace=<path>       Chrome trace_event timeline (chrome://tracing,
+//                        Perfetto). matrix/simulate traces use simulated
+//                        ticks and are byte-identical for any --threads;
+//                        mine traces are wall-clock self-profiles.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,7 +39,10 @@
 #include "mining/pipeline.hpp"
 #include "report/study_report.hpp"
 #include "report/table.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/trial.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace faultstudy;
 
@@ -38,6 +50,14 @@ namespace {
 
 /// Lanes for matrix/mine sweeps; 0 = auto (env var, else hardware).
 std::size_t g_threads = 0;
+/// Base trial seed; < 0 keeps each command's default.
+long long g_seed = -1;
+std::string g_telemetry_path;
+std::string g_trace_path;
+
+bool telemetry_wanted() {
+  return !g_telemetry_path.empty() || !g_trace_path.empty();
+}
 
 int usage() {
   std::fputs(
@@ -50,10 +70,44 @@ int usage() {
       "  faultstudy_cli matrix\n"
       "  faultstudy_cli report <out.md>                (full study report)\n"
       "options:\n"
-      "  --threads N   execution lanes for matrix/mine (default: "
-      "FAULTSTUDY_THREADS, else hardware; results identical for any N)\n",
+      "  --threads N        execution lanes for matrix/mine (default: "
+      "FAULTSTUDY_THREADS, else hardware; results identical for any N)\n"
+      "  --seed N           base trial seed for simulate/matrix\n"
+      "  --telemetry=PATH   write a metrics snapshot (.json = JSON, else "
+      "Prometheus text)\n"
+      "  --trace=PATH       write a Chrome trace_event timeline\n",
       stderr);
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& payload) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << payload;
+  return true;
+}
+
+/// Writes --telemetry / --trace outputs that were requested; returns 0 or 1.
+int export_telemetry(const telemetry::MetricsSnapshot& snapshot,
+                     const std::vector<telemetry::TraceThread>& threads) {
+  if (!g_telemetry_path.empty()) {
+    const std::string payload = g_telemetry_path.ends_with(".json")
+                                    ? telemetry::to_json(snapshot)
+                                    : telemetry::to_prometheus(snapshot);
+    if (!write_file(g_telemetry_path, payload)) return 1;
+    std::printf("telemetry : wrote %s (%zu bytes)\n", g_telemetry_path.c_str(),
+                payload.size());
+  }
+  if (!g_trace_path.empty()) {
+    const std::string payload = telemetry::to_chrome_trace(threads);
+    if (!write_file(g_trace_path, payload)) return 1;
+    std::printf("trace     : wrote %s (%zu bytes)\n", g_trace_path.c_str(),
+                payload.size());
+  }
+  return 0;
 }
 
 int cmd_taxonomy() {
@@ -157,43 +211,53 @@ void print_study(const mining::PipelineResult& result) {
 }
 
 int cmd_mine(const std::string& target) {
+  telemetry::PipelineTelemetry profile;
   mining::PipelineOptions options;
   options.threads = g_threads;
+  if (telemetry_wanted()) options.telemetry = &profile;
+  std::printf("mine: target=%s threads=%zu\n", target.c_str(),
+              util::resolve_threads(g_threads));
+
+  std::optional<mining::PipelineResult> result;
   if (target == "apache" || target == "gnome") {
     const auto tracker = target == "apache" ? corpus::make_apache_tracker()
                                             : corpus::make_gnome_tracker();
-    print_study(mining::run_tracker_pipeline(tracker, options));
-    return 0;
-  }
-  if (target == "mysql") {
-    print_study(
-        mining::run_mailinglist_pipeline(corpus::make_mysql_list(), options));
-    return 0;
-  }
-  // A file: sniff the format.
-  std::ifstream in(target, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot read %s\n", target.c_str());
-    return 1;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-  if (text.starts_with("From ")) {
-    const auto list = corpus::mailinglist_from_mbox(text);
-    if (!list.ok()) {
-      std::fprintf(stderr, "mbox parse error: %s\n", list.error().c_str());
+    result = mining::run_tracker_pipeline(tracker, options);
+  } else if (target == "mysql") {
+    result =
+        mining::run_mailinglist_pipeline(corpus::make_mysql_list(), options);
+  } else {
+    // A file: sniff the format.
+    std::ifstream in(target, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", target.c_str());
       return 1;
     }
-    print_study(mining::run_mailinglist_pipeline(list.value(), options));
-    return 0;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (text.starts_with("From ")) {
+      const auto list = corpus::mailinglist_from_mbox(text);
+      if (!list.ok()) {
+        std::fprintf(stderr, "mbox parse error: %s\n", list.error().c_str());
+        return 1;
+      }
+      result = mining::run_mailinglist_pipeline(list.value(), options);
+    } else {
+      const auto tracker = corpus::tracker_from_text(text);
+      if (!tracker.ok()) {
+        std::fprintf(stderr, "tracker parse error: %s\n",
+                     tracker.error().c_str());
+        return 1;
+      }
+      result = mining::run_tracker_pipeline(tracker.value(), options);
+    }
   }
-  const auto tracker = corpus::tracker_from_text(text);
-  if (!tracker.ok()) {
-    std::fprintf(stderr, "tracker parse error: %s\n", tracker.error().c_str());
-    return 1;
+  print_study(*result);
+  if (options.telemetry != nullptr) {
+    return export_telemetry(profile.metrics.snapshot(),
+                            {{"mine (wall)", &profile.spans}});
   }
-  print_study(mining::run_tracker_pipeline(tracker.value(), options));
   return 0;
 }
 
@@ -218,9 +282,18 @@ int cmd_simulate(const std::string& fault_id, const std::string& mechanism) {
                  mechanism.c_str());
     return 1;
   }
-  const auto plan = inject::plan_for(*seed, 42);
+  // Defaults match the pre-flag behavior exactly: plan seed 42, trial
+  // config seed 99; --seed N sets both.
+  harness::TrialConfig config;
+  if (g_seed >= 0) config.seed = static_cast<std::uint64_t>(g_seed);
+  telemetry::TrialTelemetry telem;
+  telemetry::TrialTelemetry* tp = telemetry_wanted() ? &telem : nullptr;
+  const auto plan = inject::plan_for(
+      *seed, g_seed >= 0 ? static_cast<std::uint64_t>(g_seed) : 42);
   auto mech = factory();
-  const auto outcome = harness::run_trial(plan, *mech);
+  const auto outcome = harness::run_trial(plan, *mech, config, nullptr, tp);
+  std::printf("simulate  : seed=%llu threads=1\n",
+              static_cast<unsigned long long>(config.seed));
   std::printf("fault     : %s (%s, %s)\n", seed->fault_id.c_str(),
               std::string(core::to_string(seed->trigger)).c_str(),
               std::string(core::to_string(corpus::seed_class(*seed))).c_str());
@@ -232,15 +305,29 @@ int cmd_simulate(const std::string& fault_id, const std::string& mechanism) {
   if (!outcome.first_failure.empty()) {
     std::printf("first failure: %s\n", outcome.first_failure.c_str());
   }
+  if (tp != nullptr) {
+    telemetry::MetricsRegistry registry;
+    telemetry::fold_into(telem, mechanism, registry);
+    if (export_telemetry(registry.snapshot(),
+                         {{fault_id + "/" + mechanism, &telem.spans}}) != 0) {
+      return 1;
+    }
+  }
   return outcome.survived ? 0 : 3;
 }
 
 int cmd_matrix() {
   harness::TrialConfig config;
   config.threads = g_threads;
+  if (g_seed >= 0) config.seed = static_cast<std::uint64_t>(g_seed);
+  std::printf("matrix: seed=%llu threads=%zu\n",
+              static_cast<unsigned long long>(config.seed),
+              util::resolve_threads(g_threads));
+  telemetry::StudyTelemetry study;
+  telemetry::StudyTelemetry* tp = telemetry_wanted() ? &study : nullptr;
   const auto matrix = harness::run_matrix(corpus::all_seeds(),
                                           harness::standard_mechanisms(),
-                                          config);
+                                          config, 3, tp);
   report::AsciiTable t({"mechanism", "EI", "EDN", "EDT", "overall"});
   for (const auto& r : matrix.reports) {
     const auto cell = [&](core::FaultClass c) {
@@ -254,13 +341,21 @@ int cmd_matrix() {
                              static_cast<double>(r.total_all()))});
   }
   std::fputs(t.to_string().c_str(), stdout);
+  if (tp != nullptr) {
+    std::vector<telemetry::TraceThread> threads;
+    threads.reserve(study.traces.size());
+    for (const auto& [label, tracer] : study.traces) {
+      threads.push_back({label, &tracer});
+    }
+    return export_telemetry(study.metrics.snapshot(), threads);
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull the global --threads flag out, keep the rest positional.
+  // Pull the global flags out, keep the rest positional.
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -269,6 +364,24 @@ int main(int argc, char** argv) {
       const long n = std::strtol(argv[++i], nullptr, 10);
       if (n < 1) return usage();
       g_threads = static_cast<std::size_t>(n);
+      continue;
+    }
+    if (arg == "--seed") {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      const long long n = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0) return usage();
+      g_seed = n;
+      continue;
+    }
+    if (arg.starts_with("--telemetry=")) {
+      g_telemetry_path = arg.substr(std::strlen("--telemetry="));
+      if (g_telemetry_path.empty()) return usage();
+      continue;
+    }
+    if (arg.starts_with("--trace=")) {
+      g_trace_path = arg.substr(std::strlen("--trace="));
+      if (g_trace_path.empty()) return usage();
       continue;
     }
     args.push_back(arg);

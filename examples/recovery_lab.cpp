@@ -5,26 +5,49 @@
 // survival fraction (races are probabilistic; one trial can mislead).
 //
 //   ./build/examples/recovery_lab [fault-id] [mechanism]
-//       [--repeats R] [--threads N]
+//       [--repeats R] [--threads N] [--telemetry=PATH] [--trace=PATH]
 //   e.g. ./build/examples/recovery_lab apache-edt-02 process-pairs
 //        ./build/examples/recovery_lab apache-edn-02 cold-restart --threads 4
+//
+// --telemetry writes the narrated trial's metrics (.json = JSON, else
+// Prometheus text); --trace writes its sim-tick span timeline as Chrome
+// trace_event JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <vector>
 
 #include "corpus/seeds.hpp"
 #include "harness/experiment.hpp"
 #include "harness/parallel.hpp"
 #include "harness/transcript.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/trial.hpp"
 #include "util/rng.hpp"
 
 using namespace faultstudy;
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& payload) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << payload;
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   std::size_t threads = 0;  // 0 = auto (FAULTSTUDY_THREADS, else hardware)
   std::size_t repeats = 16;
+  std::string telemetry_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" || arg == "--repeats") {
@@ -34,6 +57,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       (arg == "--threads" ? threads : repeats) = static_cast<std::size_t>(n);
+      continue;
+    }
+    if (arg.starts_with("--telemetry=")) {
+      telemetry_path = arg.substr(std::strlen("--telemetry="));
+      continue;
+    }
+    if (arg.starts_with("--trace=")) {
+      trace_path = arg.substr(std::strlen("--trace="));
       continue;
     }
     args.push_back(arg);
@@ -76,8 +107,20 @@ int main(int argc, char** argv) {
   std::printf("mechanism : %s\n\n", mechanism_name.c_str());
 
   // Run the trial manually so we can narrate it.
+  const bool want_telemetry = !telemetry_path.empty() || !trace_path.empty();
+  telemetry::TrialTelemetry telem;
   const auto plan = inject::plan_for(*seed, 42);
   env::Environment environment(plan.env_config);
+  telemetry::SpanTracer* tracer = nullptr;
+  if (want_telemetry) {
+    environment.set_counters(&telem.counters);
+    telem.spans.bind_sim(&environment.clock());
+    tracer = &telem.spans;
+  }
+  // Opened/closed by hand: the scope must end before the export below, not
+  // at the end of main.
+  std::size_t trial_span = 0;
+  if (tracer != nullptr) trial_span = tracer->open("trial");
   auto app = inject::make_app(seed->app);
   app->arm_fault(plan.fault);
   app->start(environment);
@@ -111,7 +154,23 @@ int main(int argc, char** argv) {
     }
     transcript.record(harness::EventKind::kRecoveryBegin, environment.now(), i,
                       std::string(mechanism->name()));
-    const auto action = mechanism->recover(*app, environment);
+    const auto recovery_start = environment.now();
+    recovery::RecoveryAction action;
+    {
+      TELEM_SPAN(tracer, "recovery/" + mechanism_name);
+      action = mechanism->recover(*app, environment);
+    }
+    if (want_telemetry) {
+      ++telem.counters.recovery.attempts;
+      if (action.recovered) {
+        ++telem.counters.recovery.successes;
+        telem.counters.recovery.items_rewound += action.rewind_items;
+      } else {
+        ++telem.counters.recovery.failures;
+      }
+      telem.recovery_latency_ticks.observe(
+          static_cast<std::int64_t>(environment.now() - recovery_start));
+    }
     ++recoveries;
     transcript.record(action.recovered ? harness::EventKind::kRecoveryOk
                                        : harness::EventKind::kRecoveryFailed,
@@ -126,9 +185,30 @@ int main(int argc, char** argv) {
                     survived ? "workload completed: fault SURVIVED"
                              : "gave up: fault NOT survived");
 
+  if (tracer != nullptr) tracer->close(trial_span);
+
   std::fputs(transcript.to_string().c_str(), stdout);
   std::printf("\nfailures observed: %zu, recoveries: %zu\n",
               transcript.count(harness::EventKind::kFailure), recoveries);
+
+  if (want_telemetry) {
+    telemetry::MetricsRegistry registry;
+    telemetry::fold_into(telem, mechanism_name, registry);
+    if (!telemetry_path.empty()) {
+      const auto snapshot = registry.snapshot();
+      const std::string payload = telemetry_path.ends_with(".json")
+                                      ? telemetry::to_json(snapshot)
+                                      : telemetry::to_prometheus(snapshot);
+      if (!write_file(telemetry_path, payload)) return 1;
+      std::printf("telemetry: wrote %s\n", telemetry_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      const std::string payload = telemetry::to_chrome_trace(
+          {{fault_id + "/" + mechanism_name, &telem.spans}});
+      if (!write_file(trace_path, payload)) return 1;
+      std::printf("trace: wrote %s\n", trace_path.c_str());
+    }
+  }
 
   if (repeats > 0) {
     // Stability sweep: the narrated trial is one draw; races and timing

@@ -127,6 +127,7 @@ StepResult Database::handle(const WorkItem& item, env::Environment& e) {
   e.advance(1);
   ++queries_;
   ++state_.items_handled;
+  FS_TELEM(e.counters(), app.queries_ok++);
   return {};
 }
 

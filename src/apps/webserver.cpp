@@ -94,6 +94,7 @@ StepResult WebServer::handle(const WorkItem& item, env::Environment& e) {
   if (item.heavy) {
     if (auto pid = e.processes().spawn("apache"); pid.has_value()) {
       e.processes().kill(*pid);
+      FS_TELEM(e.counters(), app.cgi_children++);
     }
   }
 
@@ -103,6 +104,7 @@ StepResult WebServer::handle(const WorkItem& item, env::Environment& e) {
     e.disk().append(cache_prefix_ + "/fill" + std::to_string(item.id),
                     item.write_bytes);
     ++cache_fills_;
+    FS_TELEM(e.counters(), app.cache_fills++);
   }
 
   // HostnameLookups-style DNS (result ignored by the fixed server).
@@ -113,6 +115,7 @@ StepResult WebServer::handle(const WorkItem& item, env::Environment& e) {
   e.advance(1);
   ++served_;
   ++state_.items_handled;
+  FS_TELEM(e.counters(), app.requests_served++);
   return {};
 }
 

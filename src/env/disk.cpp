@@ -3,11 +3,20 @@
 namespace faultstudy::env {
 
 Disk::WriteResult Disk::append(const std::string& path, std::uint64_t bytes) {
-  if (free_space() < bytes) return WriteResult::kNoSpace;
+  if (free_space() < bytes) {
+    FS_TELEM(counters_, disk_write_failures++);
+    return WriteResult::kNoSpace;
+  }
   auto& info = files_[path];
-  if (info.size + bytes > max_file_size_) return WriteResult::kFileTooBig;
+  if (info.size + bytes > max_file_size_) {
+    FS_TELEM(counters_, disk_write_failures++);
+    return WriteResult::kFileTooBig;
+  }
   info.size += bytes;
   used_ += bytes;
+  FS_TELEM(counters_, disk_writes++);
+  FS_TELEM(counters_, disk_bytes_written += bytes);
+  FS_TELEM_PEAK(counters_, peak_disk_used, used_);
   return WriteResult::kOk;
 }
 
@@ -16,6 +25,7 @@ void Disk::truncate(const std::string& path) {
   if (it == files_.end()) return;
   used_ -= it->second.size;
   it->second.size = 0;
+  FS_TELEM(counters_, disk_truncates++);
 }
 
 void Disk::remove(const std::string& path) {

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/counters.hpp"
+
 namespace faultstudy::env {
 
 struct FileInfo {
@@ -63,11 +65,17 @@ class Disk {
   /// Total bytes under a path prefix.
   std::uint64_t used_under(const std::string& prefix) const;
 
+  /// Per-trial telemetry sink; nullptr (the default) records nothing.
+  void set_counters(telemetry::ResourceCounters* counters) noexcept {
+    counters_ = counters;
+  }
+
  private:
   std::uint64_t capacity_;
   std::uint64_t max_file_size_;
   std::uint64_t used_ = 0;
   std::unordered_map<std::string, FileInfo> files_;
+  telemetry::ResourceCounters* counters_ = nullptr;
 };
 
 }  // namespace faultstudy::env

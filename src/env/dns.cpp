@@ -13,10 +13,13 @@ void DnsServer::break_until(DnsHealth state, Tick until) noexcept {
 
 DnsReply DnsServer::resolve(const std::string& host, Tick now) const {
   (void)host;
+  FS_TELEM(counters_, dns_lookups++);
   switch (health(now)) {
     case DnsHealth::kErroring:
+      FS_TELEM(counters_, dns_errors++);
       return {.ok = false, .latency = kNormalLatency};
     case DnsHealth::kSlow:
+      FS_TELEM(counters_, dns_slow_replies++);
       return {.ok = true, .latency = kSlowLatency};
     case DnsHealth::kHealthy:
       break;
@@ -26,6 +29,7 @@ DnsReply DnsServer::resolve(const std::string& host, Tick now) const {
 
 DnsReply DnsServer::reverse(const std::string& address, Tick now) const {
   if (!reverse_records_.contains(address)) {
+    FS_TELEM(counters_, dns_reverse_misses++);
     return {.ok = false, .latency = kNormalLatency};
   }
   return resolve(address, now);

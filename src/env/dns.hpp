@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "env/clock.hpp"
+#include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
 
@@ -43,10 +44,17 @@ class DnsServer {
   static constexpr Tick kNormalLatency = 2;
   static constexpr Tick kSlowLatency = 5000;
 
+  /// Per-trial telemetry sink; nullptr (the default) records nothing.
+  void set_counters(telemetry::ResourceCounters* counters) noexcept {
+    counters_ = counters;
+  }
+
  private:
   DnsHealth forced_ = DnsHealth::kHealthy;
   Tick forced_until_ = 0;
   std::unordered_set<std::string> reverse_records_;
+  // Lookups are logically const; the sink they record into is not.
+  telemetry::ResourceCounters* counters_ = nullptr;
 };
 
 }  // namespace faultstudy::env

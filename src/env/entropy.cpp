@@ -19,8 +19,13 @@ std::uint64_t EntropyPool::bits(Tick now) const noexcept {
 
 bool EntropyPool::take(std::uint64_t want, Tick now) noexcept {
   settle(now);
-  if (bits_ < want) return false;
+  FS_TELEM(counters_, entropy_reads++);
+  if (bits_ < want) {
+    FS_TELEM(counters_, entropy_blocked++);
+    return false;
+  }
   bits_ -= want;
+  FS_TELEM(counters_, entropy_bits_taken += want);
   return true;
 }
 

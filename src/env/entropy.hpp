@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "env/clock.hpp"
+#include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
 
@@ -28,12 +29,18 @@ class EntropyPool {
 
   std::uint64_t refill_rate() const noexcept { return refill_per_tick_; }
 
+  /// Per-trial telemetry sink; nullptr (the default) records nothing.
+  void set_counters(telemetry::ResourceCounters* counters) noexcept {
+    counters_ = counters;
+  }
+
  private:
   void settle(Tick now) const noexcept;
 
   mutable std::uint64_t bits_;
   std::uint64_t refill_per_tick_;
   mutable Tick last_ = 0;
+  telemetry::ResourceCounters* counters_ = nullptr;
   static constexpr std::uint64_t kPoolMax = 4096;
 };
 

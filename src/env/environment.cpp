@@ -10,4 +10,17 @@ Environment::Environment(const EnvironmentConfig& config)
       scheduler_(config.seed),
       entropy_(config.entropy_bits, config.entropy_refill_per_tick) {}
 
+void Environment::set_counters(telemetry::TrialCounters* counters) noexcept {
+  counters_ = counters;
+  telemetry::ResourceCounters* resources =
+      counters != nullptr ? &counters->resources : nullptr;
+  processes_.set_counters(resources);
+  fds_.set_counters(resources);
+  disk_.set_counters(resources);
+  dns_.set_counters(resources);
+  network_.set_counters(resources);
+  scheduler_.set_counters(resources);
+  entropy_.set_counters(resources);
+}
+
 }  // namespace faultstudy::env

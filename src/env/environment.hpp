@@ -23,6 +23,7 @@
 #include "env/scheduler.hpp"
 #include "env/signals.hpp"
 #include "env/trace.hpp"
+#include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
 
@@ -67,6 +68,14 @@ class Environment {
 
   const EnvironmentConfig& config() const noexcept { return config_; }
 
+  /// Binds a per-trial telemetry sink: the resource block goes into every
+  /// subsystem; apps and recovery mechanisms reach the app/recovery blocks
+  /// through counters(). Pass nullptr to detach (the default state).
+  void set_counters(telemetry::TrialCounters* counters) noexcept;
+
+  /// The bound per-trial sink, or nullptr when telemetry is detached.
+  telemetry::TrialCounters* counters() noexcept { return counters_; }
+
  private:
   EnvironmentConfig config_;
   VirtualClock clock_;
@@ -80,6 +89,7 @@ class Environment {
   SignalBus signals_;
   TraceLog trace_;
   std::string hostname_ = "production-host";
+  telemetry::TrialCounters* counters_ = nullptr;
 };
 
 }  // namespace faultstudy::env

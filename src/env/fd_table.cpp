@@ -5,9 +5,14 @@
 namespace faultstudy::env {
 
 bool FdTable::acquire(const std::string& owner, std::size_t n) {
-  if (available() < n) return false;
+  if (available() < n) {
+    FS_TELEM(counters_, fd_acquire_failures++);
+    return false;
+  }
   held_[owner] += n;
   used_ += n;
+  FS_TELEM(counters_, fds_acquired += n);
+  FS_TELEM_PEAK(counters_, peak_fds, used_);
   return true;
 }
 
@@ -18,6 +23,7 @@ void FdTable::release(const std::string& owner, std::size_t n) {
   it->second -= freed;
   used_ -= freed;
   if (it->second == 0) held_.erase(it);
+  FS_TELEM(counters_, fds_released += freed);
 }
 
 std::size_t FdTable::release_all(const std::string& owner) {
@@ -26,6 +32,7 @@ std::size_t FdTable::release_all(const std::string& owner) {
   const std::size_t freed = it->second;
   used_ -= freed;
   held_.erase(it);
+  FS_TELEM(counters_, fds_released += freed);
   return freed;
 }
 

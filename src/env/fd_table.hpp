@@ -10,6 +10,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "telemetry/counters.hpp"
+
 namespace faultstudy::env {
 
 class FdTable {
@@ -37,10 +39,16 @@ class FdTable {
   /// descriptors available to a process").
   void grow(std::size_t extra) noexcept { capacity_ += extra; }
 
+  /// Per-trial telemetry sink; nullptr (the default) records nothing.
+  void set_counters(telemetry::ResourceCounters* counters) noexcept {
+    counters_ = counters;
+  }
+
  private:
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::unordered_map<std::string, std::size_t> held_;
+  telemetry::ResourceCounters* counters_ = nullptr;
 };
 
 }  // namespace faultstudy::env

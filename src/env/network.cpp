@@ -14,12 +14,20 @@ void Network::degrade_until(LinkState state, Tick until) noexcept {
 bool Network::bind_port(int port, const std::string& owner) {
   auto [it, inserted] = ports_.emplace(port, owner);
   (void)it;
+  if (inserted) {
+    FS_TELEM(counters_, port_binds++);
+  } else {
+    FS_TELEM(counters_, port_bind_failures++);
+  }
   return inserted;
 }
 
 void Network::release_port(int port, const std::string& owner) {
   auto it = ports_.find(port);
-  if (it != ports_.end() && it->second == owner) ports_.erase(it);
+  if (it != ports_.end() && it->second == owner) {
+    ports_.erase(it);
+    FS_TELEM(counters_, ports_released++);
+  }
 }
 
 std::size_t Network::release_ports_of(const std::string& owner) {
@@ -32,6 +40,7 @@ std::size_t Network::release_ports_of(const std::string& owner) {
       ++it;
     }
   }
+  FS_TELEM(counters_, ports_released += released);
   return released;
 }
 
@@ -43,7 +52,10 @@ std::string Network::port_owner(int port) const {
 }
 
 bool Network::consume_kernel_resource(std::size_t n) noexcept {
-  if (kernel_resource_ < n) return false;
+  if (kernel_resource_ < n) {
+    FS_TELEM(counters_, kernel_resource_denied++);
+    return false;
+  }
   kernel_resource_ -= n;
   return true;
 }

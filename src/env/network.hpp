@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "env/clock.hpp"
+#include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
 
@@ -38,12 +39,18 @@ class Network {
   static constexpr Tick kNormalLatency = 1;
   static constexpr Tick kSlowLatency = 3000;
 
+  /// Per-trial telemetry sink; nullptr (the default) records nothing.
+  void set_counters(telemetry::ResourceCounters* counters) noexcept {
+    counters_ = counters;
+  }
+
  private:
   LinkState forced_ = LinkState::kNormal;
   Tick forced_until_ = 0;
   bool card_present_ = true;
   std::unordered_map<int, std::string> ports_;
   std::size_t kernel_resource_ = 1u << 20;
+  telemetry::ResourceCounters* counters_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -3,21 +3,31 @@
 namespace faultstudy::env {
 
 std::optional<Pid> ProcessTable::spawn(const std::string& owner) {
-  if (full()) return std::nullopt;
+  if (full()) {
+    FS_TELEM(counters_, proc_spawn_failures++);
+    return std::nullopt;
+  }
   const Pid pid = next_pid_++;
   Process p;
   p.pid = pid;
   p.owner = owner;
   procs_.emplace(pid, std::move(p));
+  FS_TELEM(counters_, proc_spawns++);
+  FS_TELEM_PEAK(counters_, peak_procs, procs_.size());
   return pid;
 }
 
-bool ProcessTable::kill(Pid pid) { return procs_.erase(pid) > 0; }
+bool ProcessTable::kill(Pid pid) {
+  if (procs_.erase(pid) == 0) return false;
+  FS_TELEM(counters_, proc_kills++);
+  return true;
+}
 
 bool ProcessTable::mark_hung(Pid pid) {
   auto it = procs_.find(pid);
   if (it == procs_.end()) return false;
   it->second.hung = true;
+  FS_TELEM(counters_, procs_marked_hung++);
   return true;
 }
 
@@ -31,6 +41,7 @@ std::size_t ProcessTable::kill_owned_by(const std::string& owner) {
       ++it;
     }
   }
+  FS_TELEM(counters_, proc_kills += killed);
   return killed;
 }
 

@@ -12,6 +12,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/counters.hpp"
+
 namespace faultstudy::env {
 
 using Pid = std::uint32_t;
@@ -64,10 +66,16 @@ class ProcessTable {
   /// observers can reuse one allocation across calls.
   void owned_by(const std::string& owner, std::vector<Pid>& out) const;
 
+  /// Per-trial telemetry sink; nullptr (the default) records nothing.
+  void set_counters(telemetry::ResourceCounters* counters) noexcept {
+    counters_ = counters;
+  }
+
  private:
   std::size_t capacity_;
   std::unordered_map<Pid, Process> procs_;
   Pid next_pid_ = 100;
+  telemetry::ResourceCounters* counters_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -6,7 +6,9 @@
 namespace faultstudy::env {
 
 Interleaving Scheduler::draw() {
+  FS_TELEM(counters_, sched_draws++);
   if (has_last_ && replay_bias_ > 0.0 && rng_.chance(replay_bias_)) {
+    FS_TELEM(counters_, sched_replays++);
     return last_;
   }
   Interleaving i;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "telemetry/counters.hpp"
 #include "util/rng.hpp"
 
 namespace faultstudy::env {
@@ -43,11 +44,17 @@ class Scheduler {
   static bool in_hazard_window(const Interleaving& i, double start,
                                double width) noexcept;
 
+  /// Per-trial telemetry sink; nullptr (the default) records nothing.
+  void set_counters(telemetry::ResourceCounters* counters) noexcept {
+    counters_ = counters;
+  }
+
  private:
   util::Rng rng_;
   double replay_bias_ = 0.0;
   bool has_last_ = false;
   Interleaving last_;
+  telemetry::ResourceCounters* counters_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -89,7 +89,8 @@ class ResourceRecorder {
 TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        recovery::Mechanism& mechanism,
                        const TrialConfig& config,
-                       TrialObservation* observation) {
+                       TrialObservation* observation,
+                       telemetry::TrialTelemetry* telemetry) {
   TrialOutcome outcome;
 
   // Patch the trial seed into cheap copies of the two config structs rather
@@ -101,6 +102,18 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
 
   env::Environment environment(env_config);
   if (observation != nullptr) environment.trace().enable();
+
+  // Bind telemetry before attach(): mechanisms cache the sink there.
+  telemetry::SpanTracer* tracer = nullptr;
+  std::string recovery_span_name;
+  if (telemetry != nullptr) {
+    environment.set_counters(&telemetry->counters);
+    telemetry->spans.bind_sim(&environment.clock());
+    tracer = &telemetry->spans;
+    recovery_span_name = "recovery/";
+    recovery_span_name += mechanism.name();
+  }
+  TELEM_SPAN(tracer, "trial");
 
   auto app = inject::make_app(plan.seed.app);
   app->arm_fault(plan.fault);
@@ -147,7 +160,10 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
       item = &retry_item;
     }
 
+    const env::Tick item_start = environment.now();
     const apps::StepResult result = app->handle(*item, environment);
+    FS_TELEM(telemetry,
+             item_latency_ticks.observe(environment.now() - item_start));
     if (recorder.has_value()) {
       recorder->observe(i);
       observation->transcript.record(
@@ -178,8 +194,15 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
       observation->transcript.record(EventKind::kRecoveryBegin,
                                      environment.now(), i);
     }
-    const recovery::RecoveryAction action =
-        mechanism.recover(*app, environment);
+    const env::Tick recovery_start = environment.now();
+    recovery::RecoveryAction action;
+    {
+      TELEM_SPAN(tracer, recovery_span_name);
+      action = mechanism.recover(*app, environment);
+    }
+    FS_TELEM(telemetry, counters.recovery.attempts++);
+    FS_TELEM(telemetry, recovery_latency_ticks.observe(environment.now() -
+                                                       recovery_start));
     ++outcome.recoveries;
     if (!mechanism.preserves_state()) outcome.state_preserved = false;
     // Roll the cursor back to the restored checkpoint; those items are
@@ -198,10 +221,13 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
                                      environment.now(), i);
     }
     if (!action.recovered) {
+      FS_TELEM(telemetry, counters.recovery.failures++);
       outcome.first_failure += " (recovery failed)";
       finish("recovery failed");
       return outcome;
     }
+    FS_TELEM(telemetry, counters.recovery.successes++);
+    FS_TELEM(telemetry, counters.recovery.items_rewound += rewind);
     outcome.items_reexecuted += rewind;
     i -= rewind;
   }
@@ -234,7 +260,8 @@ std::vector<NamedMechanism> standard_mechanisms() {
 
 MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                         const std::vector<NamedMechanism>& mechanisms,
-                        const TrialConfig& config, int repeats) {
+                        const TrialConfig& config, int repeats,
+                        telemetry::StudyTelemetry* telemetry) {
   MatrixResult result;
   result.fault_count = seeds.size();
   if (repeats < 1) repeats = 1;
@@ -257,9 +284,13 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
     int survived = 0;
     int observed = 0;
     bool lost_state = false;
+    /// Per-cell telemetry aggregate (counters and histograms summed over
+    /// repeats; the spans kept are the first repeat's). Heap-allocated so
+    /// the untelemetered path pays one pointer per cell, nothing more.
+    std::unique_ptr<telemetry::TrialTelemetry> telem;
   };
   const std::size_t cell_count = mechanisms.size() * seeds.size();
-  const auto cells = parallel_map<CellVotes>(
+  auto cells = parallel_map<CellVotes>(
       cell_count, config.threads, [&](std::size_t cell) {
         const NamedMechanism& nm = mechanisms[cell / seeds.size()];
         const corpus::SeedFault& seed = seeds[cell % seeds.size()];
@@ -270,7 +301,23 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                     util::fnv1a(seed.fault_id);
           const auto plan = inject::plan_for(seed, tc.seed);
           auto mechanism = nm.make();
-          const TrialOutcome outcome = run_trial(plan, *mechanism, tc);
+          telemetry::TrialTelemetry trial_telem;
+          telemetry::TrialTelemetry* tt =
+              telemetry != nullptr ? &trial_telem : nullptr;
+          const TrialOutcome outcome =
+              run_trial(plan, *mechanism, tc, nullptr, tt);
+          if (tt != nullptr) {
+            if (votes.telem == nullptr) {
+              votes.telem = std::make_unique<telemetry::TrialTelemetry>(
+                  std::move(trial_telem));
+            } else {
+              telemetry::merge(votes.telem->counters, trial_telem.counters);
+              votes.telem->recovery_latency_ticks.merge(
+                  trial_telem.recovery_latency_ticks);
+              votes.telem->item_latency_ticks.merge(
+                  trial_telem.item_latency_ticks);
+            }
+          }
           if (outcome.failure_observed) {
             ++votes.observed;
             if (outcome.survived) ++votes.survived;
@@ -279,6 +326,21 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
         }
         return votes;
       });
+
+  // Serial index-order fold of per-cell telemetry: study metrics and the
+  // kept traces come out identical for every thread count.
+  if (telemetry != nullptr) {
+    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        CellVotes& votes = cells[m * seeds.size() + s];
+        if (votes.telem == nullptr) continue;
+        telemetry->fold_trial(mechanisms[m].name,
+                              mechanisms[m].name + "/" + seeds[s].fault_id,
+                              std::move(*votes.telem),
+                              /*keep_trace=*/true);
+      }
+    }
+  }
 
   for (std::size_t m = 0; m < mechanisms.size(); ++m) {
     MechanismReport report;

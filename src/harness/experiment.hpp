@@ -22,6 +22,7 @@
 #include "harness/transcript.hpp"
 #include "inject/specimen.hpp"
 #include "recovery/mechanism.hpp"
+#include "telemetry/trial.hpp"
 
 namespace faultstudy::harness {
 
@@ -66,10 +67,17 @@ struct TrialObservation {
 /// harness records the resource-level transcript (descriptor and
 /// process-table deltas, disk writes, recovery windows) alongside the
 /// protocol events.
+///
+/// With `telemetry` set, the trial binds it as the environment's counter
+/// sink, times items and recoveries in simulated ticks, and records
+/// sim-domain spans (a "trial" root plus one "recovery/<mechanism>" span
+/// per recovery). Virtual time is simulation state, so the recorded
+/// telemetry is identical for every thread count.
 TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        recovery::Mechanism& mechanism,
                        const TrialConfig& config = {},
-                       TrialObservation* observation = nullptr);
+                       TrialObservation* observation = nullptr,
+                       telemetry::TrialTelemetry* telemetry = nullptr);
 
 /// Mechanism factory, so the matrix can instantiate a fresh mechanism per
 /// trial (mechanisms hold per-trial checkpoints).
@@ -120,9 +128,16 @@ struct MatrixResult {
 /// are probabilistic). Cells run on `config.threads` lanes; the result is
 /// identical for every thread count. Mechanism factories must be safe to
 /// invoke concurrently (the standard roster's stateless lambdas are).
+/// With `telemetry` set, every trial runs instrumented: counters and tick
+/// histograms from all repeats of a cell merge into one per-cell aggregate
+/// (held in the cell's index slot), and the serial reduction folds cells
+/// into `telemetry` in index order — so study-level metrics and the kept
+/// traces (the first repeat of each cell, labeled "mechanism/fault-id")
+/// are bit-identical for every thread count.
 MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                         const std::vector<NamedMechanism>& mechanisms,
-                        const TrialConfig& config = {}, int repeats = 3);
+                        const TrialConfig& config = {}, int repeats = 3,
+                        telemetry::StudyTelemetry* telemetry = nullptr);
 
 // --- detector-vs-taxonomy oracle cross-check ------------------------------
 //

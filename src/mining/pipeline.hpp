@@ -23,6 +23,10 @@
 #include "mining/filters.hpp"
 #include "mining/keyword_search.hpp"
 
+namespace faultstudy::telemetry {
+struct PipelineTelemetry;
+}  // namespace faultstudy::telemetry
+
 namespace faultstudy::mining {
 
 /// One unique bug after deduplication, with its classification.
@@ -54,6 +58,11 @@ struct PipelineOptions {
   /// cluster order, so the result is identical for every thread count.
   /// Also used for dedup when `dedup.threads` is 0.
   std::size_t threads = 0;
+  /// Optional wall-domain self-profile: steady-clock stage spans, funnel
+  /// counters, and executor stats for the pipeline's sweeps. Profiling only
+  /// observes — mined results are identical with or without it — and wall
+  /// times never enter determinism comparisons.
+  telemetry::PipelineTelemetry* telemetry = nullptr;
 };
 
 /// Apache/GNOME path. GNOME buckets by report date (the modules release

@@ -22,6 +22,7 @@ bool app_recoverable(core::Trigger trigger) noexcept {
 void AppSpecific::attach(apps::SimApp& app, env::Environment& e) {
   (void)app;
   e.scheduler().set_replay_bias(ReplayBias::kAppSpecific);
+  counters_ = e.counters();
 }
 
 RecoveryAction AppSpecific::recover(apps::SimApp& app, env::Environment& e) {
@@ -46,6 +47,7 @@ void AppSpecific::prepare_retry(apps::WorkItem& item) {
       // page instead of handing it to the buggy code path.
       item.poison = false;
       item.op = std::string(apps::kRejectedOp);
+      FS_TELEM(counters_, recovery.retries_sanitized++);
     }
     sanitize_next_ = false;
   }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "recovery/mechanism.hpp"
+#include "telemetry/counters.hpp"
 
 namespace faultstudy::recovery {
 
@@ -34,6 +35,9 @@ class AppSpecific final : public Mechanism {
 
  private:
   bool sanitize_next_ = false;
+  // prepare_retry has no Environment parameter; attach caches the trial's
+  // sink so sanitized retries are still counted.
+  telemetry::TrialCounters* counters_ = nullptr;
 };
 
 /// True when the trigger's condition is reachable by application-level

@@ -16,6 +16,7 @@ RecoveryAction Rejuvenation::recover(apps::SimApp& app, env::Environment& e) {
   RecoveryAction action;
   action.recovered = app.running();
   action.rewind_items = 0;
+  FS_TELEM(e.counters(), recovery.rejuvenation_cycles++);
   return action;
 }
 
@@ -36,6 +37,7 @@ void ScheduledRejuvenation::on_item_success(apps::SimApp& app,
   e.advance(RecoveryCosts::kRejuvenation / 2);
   sweep_application(app, e);
   app.rejuvenate(e);
+  FS_TELEM(e.counters(), recovery.proactive_rejuvenations++);
 }
 
 RecoveryAction ScheduledRejuvenation::recover(apps::SimApp& app,
@@ -48,6 +50,7 @@ RecoveryAction ScheduledRejuvenation::recover(apps::SimApp& app,
   since_ = 0;
   RecoveryAction action;
   action.recovered = app.running();
+  FS_TELEM(e.counters(), recovery.rejuvenation_cycles++);
   return action;
 }
 

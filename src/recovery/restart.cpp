@@ -16,6 +16,7 @@ RecoveryAction ColdRestart::recover(apps::SimApp& app, env::Environment& e) {
   RecoveryAction action;
   action.recovered = app.start(e);
   action.rewind_items = 0;  // in-flight work is simply lost, not replayed
+  FS_TELEM(e.counters(), recovery.cold_restarts++);
   return action;
 }
 

@@ -16,13 +16,14 @@ void RollbackRetry::attach(apps::SimApp& app, env::Environment& e) {
   e.scheduler().set_replay_bias(replay_bias());
   checkpoint_ = app.snapshot();
   since_checkpoint_ = 0;
+  FS_TELEM(e.counters(), recovery.checkpoints++);
 }
 
 void RollbackRetry::on_item_success(apps::SimApp& app, env::Environment& e) {
-  (void)e;
   if (++since_checkpoint_ >= interval_) {
     checkpoint_ = app.snapshot();
     since_checkpoint_ = 0;
+    FS_TELEM(e.counters(), recovery.checkpoints++);
   }
 }
 

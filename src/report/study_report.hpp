@@ -14,6 +14,7 @@
 #include "core/aggregate.hpp"
 #include "harness/experiment.hpp"
 #include "mining/pipeline.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace faultstudy::report {
 
@@ -21,6 +22,9 @@ struct StudyReportOptions {
   bool include_figures = true;
   bool include_recovery_matrix = true;
   bool include_funnels = true;
+  /// Run the matrix instrumented and render its folded telemetry snapshot
+  /// (simulated-clock domain, so the section is deterministic).
+  bool include_telemetry = true;
   /// Matrix repeats per (fault, mechanism) cell.
   int matrix_repeats = 3;
 };
@@ -32,6 +36,9 @@ struct StudyResults {
   std::vector<core::Fault> all_faults;
   core::StudySummary summary;
   harness::MatrixResult matrix;  ///< empty when the option is off
+  /// Matrix telemetry folded across every trial (empty when either the
+  /// matrix or the telemetry option is off).
+  telemetry::MetricsSnapshot telemetry;
 };
 
 /// Runs everything. Deterministic in the corpus/matrix seeds.

@@ -1,0 +1,160 @@
+// Telemetry hot-path primitives: the compile-time gate and the plain
+// per-trial counter structs that instrumented components write into.
+//
+// Two cost tiers, by design:
+//
+//   * disabled at compile time (-DFAULTSTUDY_TELEMETRY=OFF): every FS_TELEM
+//     site expands to nothing — true zero overhead;
+//   * compiled in but no sink attached (the default at runtime): one
+//     predictable `ptr != nullptr` branch per site, nothing else.
+//
+// Everything in this header is a plain struct of integers. A trial is
+// single-threaded, so increments need no atomics; parallel sweeps give every
+// trial its own struct in a per-index slot and merge serially in index order
+// (the PR 2 determinism contract), which is what keeps aggregated telemetry
+// bit-identical across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// CMake defines FAULTSTUDY_TELEMETRY to 0 or 1; default to enabled for
+// builds that bypass the option (e.g. direct compiler invocations).
+#ifndef FAULTSTUDY_TELEMETRY
+#define FAULTSTUDY_TELEMETRY 1
+#endif
+
+// Runs `expr` on the sink when telemetry is compiled in and `sink` is
+// non-null: FS_TELEM(e.counters(), resources.dns_lookups++). The sink
+// expression is evaluated exactly once.
+#if FAULTSTUDY_TELEMETRY
+#define FS_TELEM(sink, expr)                 \
+  do {                                       \
+    if (auto* fs_telem_sink = (sink)) {      \
+      fs_telem_sink->expr;                   \
+    }                                        \
+  } while (0)
+#else
+// Disabled: the site still type-checks (so both build modes stay honest)
+// but `if constexpr (false)` guarantees zero generated code, including the
+// evaluation of `sink`.
+#define FS_TELEM(sink, expr)              \
+  do {                                    \
+    if constexpr (false) {                \
+      if (auto* fs_telem_sink = (sink)) { \
+        fs_telem_sink->expr;              \
+      }                                   \
+    }                                     \
+  } while (0)
+#endif
+
+// Raises a high-watermark field: FS_TELEM_PEAK(counters, peak_fds, used()).
+#if FAULTSTUDY_TELEMETRY
+#define FS_TELEM_PEAK(sink, field, value)                            \
+  do {                                                               \
+    if (auto* fs_telem_sink = (sink)) {                              \
+      const auto fs_telem_value = static_cast<std::uint64_t>(value); \
+      if (fs_telem_value > fs_telem_sink->field) {                   \
+        fs_telem_sink->field = fs_telem_value;                       \
+      }                                                              \
+    }                                                                \
+  } while (0)
+#else
+#define FS_TELEM_PEAK(sink, field, value)                            \
+  do {                                                               \
+    if constexpr (false) {                                           \
+      if (auto* fs_telem_sink = (sink)) {                            \
+        const auto fs_telem_value = static_cast<std::uint64_t>(value); \
+        if (fs_telem_value > fs_telem_sink->field) {                 \
+          fs_telem_sink->field = fs_telem_value;                     \
+        }                                                            \
+      }                                                              \
+    }                                                                \
+  } while (0)
+#endif
+
+namespace faultstudy::telemetry {
+
+/// What the simulated environment's resources did during one trial. Each
+/// subsystem holds a pointer to this struct (bound by
+/// env::Environment::set_counters) and bumps its own fields.
+struct ResourceCounters {
+  // Process table.
+  std::uint64_t proc_spawns = 0;
+  std::uint64_t proc_spawn_failures = 0;  ///< table full
+  std::uint64_t proc_kills = 0;
+  std::uint64_t procs_marked_hung = 0;
+  std::uint64_t peak_procs = 0;
+  // Descriptor table.
+  std::uint64_t fds_acquired = 0;
+  std::uint64_t fd_acquire_failures = 0;  ///< pool exhausted
+  std::uint64_t fds_released = 0;
+  std::uint64_t peak_fds = 0;
+  // Disk.
+  std::uint64_t disk_writes = 0;
+  std::uint64_t disk_bytes_written = 0;
+  std::uint64_t disk_write_failures = 0;  ///< no space / file-size limit
+  std::uint64_t disk_truncates = 0;
+  std::uint64_t peak_disk_used = 0;
+  // DNS.
+  std::uint64_t dns_lookups = 0;
+  std::uint64_t dns_errors = 0;
+  std::uint64_t dns_slow_replies = 0;
+  std::uint64_t dns_reverse_misses = 0;
+  // Network.
+  std::uint64_t port_binds = 0;
+  std::uint64_t port_bind_failures = 0;
+  std::uint64_t ports_released = 0;
+  std::uint64_t kernel_resource_denied = 0;
+  // Scheduler.
+  std::uint64_t sched_draws = 0;
+  std::uint64_t sched_replays = 0;  ///< replay bias reproduced the last draw
+  // Entropy pool.
+  std::uint64_t entropy_reads = 0;
+  std::uint64_t entropy_blocked = 0;  ///< read wanted more bits than held
+  std::uint64_t entropy_bits_taken = 0;
+};
+
+/// What the recovery machinery did during one trial. The trial runner
+/// counts attempts/outcomes; mechanisms bump their own specifics through
+/// env::Environment::counters().
+struct RecoveryCounters {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t items_rewound = 0;  ///< rollback depth, summed over recoveries
+  std::uint64_t checkpoints = 0;
+  std::uint64_t failovers = 0;            ///< process-pairs backup promotions
+  std::uint64_t cold_restarts = 0;        ///< lossy stop+start cycles
+  std::uint64_t rejuvenation_cycles = 0;  ///< reactive rejuvenation passes
+  std::uint64_t proactive_rejuvenations = 0;  ///< scheduled (quiescent) passes
+  std::uint64_t retries_sanitized = 0;  ///< wrapper rejected a killer input
+};
+
+/// What the simulated application did during one trial, beyond the
+/// harness-level outcome fields.
+struct AppCounters {
+  std::uint64_t requests_served = 0;  ///< web server
+  std::uint64_t cache_fills = 0;
+  std::uint64_t cgi_children = 0;
+  std::uint64_t queries_ok = 0;  ///< database
+  std::uint64_t ui_events = 0;   ///< desktop
+};
+
+/// The per-trial counter sink the environment hands out to everything it
+/// hosts. env::Environment::set_counters(&trial_telemetry.counters) binds
+/// the resource block into every subsystem and exposes the whole struct to
+/// apps and mechanisms.
+struct TrialCounters {
+  ResourceCounters resources;
+  RecoveryCounters recovery;
+  AppCounters app;
+};
+
+/// Field-wise sum (for folding repeat trials of one matrix cell together).
+void merge(ResourceCounters& into, const ResourceCounters& from) noexcept;
+void merge(RecoveryCounters& into, const RecoveryCounters& from) noexcept;
+void merge(AppCounters& into, const AppCounters& from) noexcept;
+void merge(TrialCounters& into, const TrialCounters& from) noexcept;
+
+}  // namespace faultstudy::telemetry

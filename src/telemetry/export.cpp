@@ -1,0 +1,141 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+
+namespace faultstudy::telemetry {
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string sanitized(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceThread>& threads) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    const std::size_t tid = t + 1;
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_json_string(out, threads[t].label);
+    out += "}}";
+    if (threads[t].tracer == nullptr) continue;
+    for (const Span& span : threads[t].tracer->spans()) {
+      comma();
+      out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+             ",\"ts\":" + std::to_string(span.start) +
+             ",\"dur\":" + std::to_string(span.duration) + ",\"name\":";
+      append_json_string(out, span.name);
+      out += ",\"args\":{\"depth\":" + std::to_string(span.depth) + "}}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = sanitized(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = sanitized(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = sanitized(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += name + "_bucket{le=\"" + std::to_string(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_json_string(out, snapshot.counters[i].name);
+    out += ":" + std::to_string(snapshot.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_json_string(out, snapshot.gauges[i].name);
+    out += ":" + std::to_string(snapshot.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) out.push_back(',');
+    append_json_string(out, h.name);
+    out += ":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      out += std::to_string(h.bounds[b]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "],\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) + "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace faultstudy::telemetry

@@ -1,0 +1,34 @@
+// Serializers for telemetry state. All output is deterministic given the
+// input: metrics are name-sorted by snapshot(), trace threads keep their
+// caller-supplied order, and every number is an integer — so sim-domain
+// exports compare byte for byte across thread counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace faultstudy::telemetry {
+
+/// One named timeline row in the Chrome trace (tid = position + 1).
+struct TraceThread {
+  std::string label;
+  const SpanTracer* tracer = nullptr;
+};
+
+/// Chrome trace_event JSON ("Complete" X events plus thread_name metadata),
+/// loadable in chrome://tracing and Perfetto. Sim-domain tick timestamps
+/// are emitted as microseconds verbatim (1 tick renders as 1 us).
+std::string to_chrome_trace(const std::vector<TraceThread>& threads);
+
+/// Prometheus text exposition (metric names sanitized: '/', '-', '.' become
+/// '_'); histograms expand to cumulative _bucket{le=...}, _sum, _count.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Machine-readable JSON: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {bounds, buckets, count, sum}}}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace faultstudy::telemetry

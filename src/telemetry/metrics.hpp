@@ -1,0 +1,182 @@
+// MetricsRegistry: named counters, high-watermark gauges, and fixed-bucket
+// histograms with lock-free per-thread shards.
+//
+// Concurrency model (the PR 2 determinism contract, applied to metrics):
+//
+//   * Registration (counter/gauge/histogram) interns a name into an id and
+//     must happen before a parallel sweep touches the metric; it is the only
+//     operation that allocates.
+//   * Writers (add/peak/observe) touch exactly one shard — by convention the
+//     shard is the writer's executor lane (util::current_lane()), so no two
+//     threads ever write the same slot and no atomics or locks are needed.
+//   * snapshot() and merge_from() run on one thread after the sweep drains
+//     and fold shards in index order. Counter and histogram merges are sums
+//     and gauge merges are maxima — all commutative — so the folded values
+//     are identical for every thread count.
+//
+// Every value is an integer (ticks, bytes, counts); there is no floating
+// point anywhere in the registry, which is what makes snapshots comparable
+// byte for byte across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace faultstudy::telemetry {
+
+struct CounterId {
+  std::uint32_t index = 0;
+};
+struct GaugeId {
+  std::uint32_t index = 0;
+};
+struct HistogramId {
+  std::uint32_t index = 0;
+};
+
+/// Standalone fixed-bucket histogram (also usable outside a registry, e.g.
+/// per-trial latency tracking folded into a registry afterwards). Bounds
+/// are inclusive upper edges; one overflow bucket catches the rest.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t value) noexcept;
+  void merge(const Histogram& other);
+
+  /// Reconstructs a histogram from pre-counted buckets (e.g. converting a
+  /// util::PoolStats lane profile); `buckets` must have bounds.size() + 1
+  /// entries and `sum` is the caller's total of observed values.
+  static Histogram from_buckets(std::vector<std::int64_t> bounds,
+                                std::vector<std::uint64_t> buckets,
+                                std::int64_t sum);
+
+  const std::vector<std::int64_t>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+  std::int64_t sum() const noexcept { return sum_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  bool operator==(const Histogram&) const = default;
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+/// Recovery/item latencies in simulated ticks.
+std::vector<std::int64_t> default_tick_bounds();
+/// Wall-clock self-profiling latencies in microseconds.
+std::vector<std::int64_t> default_micros_bounds();
+
+/// An immutable, name-sorted view of a registry — the unit of export and
+/// of determinism comparisons (threads=1 and threads=N must produce equal
+/// snapshots for sim-domain registries).
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+    bool operator==(const Counter&) const = default;
+  };
+  struct Gauge {
+    std::string name;
+    std::int64_t value = 0;  ///< high-watermark
+    bool operator==(const Gauge&) const = default;
+  };
+  struct Hist {
+    std::string name;
+    std::vector<std::int64_t> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    bool operator==(const Hist&) const = default;
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Hist> histograms;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  /// `shards` = number of independent writer lanes (>= 1). Single-threaded
+  /// users (per-trial registries, serial folds) keep the default.
+  explicit MetricsRegistry(std::size_t shards = 1);
+
+  std::size_t shards() const noexcept { return shards_; }
+
+  /// Grows the shard count (serial-only; call before a wider sweep starts).
+  void ensure_shards(std::size_t shards);
+
+  // --- registration (serial-only; returns the existing id on re-use) ---
+  CounterId counter(std::string_view name);
+  GaugeId gauge(std::string_view name);
+  HistogramId histogram(std::string_view name,
+                        std::vector<std::int64_t> bounds);
+
+  // --- writers (lock-free: one writer per shard) ---
+  void add(CounterId id, std::uint64_t n = 1, std::size_t shard = 0) noexcept;
+  /// Raises the gauge's high-watermark.
+  void peak(GaugeId id, std::int64_t value, std::size_t shard = 0) noexcept;
+  void observe(HistogramId id, std::int64_t value,
+               std::size_t shard = 0) noexcept;
+  void merge_histogram(HistogramId id, const Histogram& h,
+                       std::size_t shard = 0);
+
+  // --- serial fold / export ---
+  /// Union-by-name merge of another registry's folded values (index-order
+  /// reduction of per-trial registries). Histogram bounds must match.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Folds shards in index order and sorts metrics by name.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  // One cache line per shard slot so concurrent lanes never false-share.
+  struct alignas(64) CounterCell {
+    std::uint64_t value = 0;
+  };
+  struct alignas(64) GaugeCell {
+    std::int64_t high = 0;
+    bool set = false;
+  };
+
+  struct CounterMetric {
+    std::string name;
+    std::vector<CounterCell> cells;  ///< one per shard
+  };
+  struct GaugeMetric {
+    std::string name;
+    std::vector<GaugeCell> cells;
+  };
+  struct HistMetric {
+    std::string name;
+    std::vector<std::int64_t> bounds;
+    std::vector<Histogram> cells;
+  };
+
+  std::size_t shards_;
+  std::vector<CounterMetric> counters_;
+  std::vector<GaugeMetric> gauges_;
+  std::vector<HistMetric> histograms_;
+  std::unordered_map<std::string, std::uint32_t> counter_ids_;
+  std::unordered_map<std::string, std::uint32_t> gauge_ids_;
+  std::unordered_map<std::string, std::uint32_t> histogram_ids_;
+};
+
+}  // namespace faultstudy::telemetry

@@ -1,0 +1,114 @@
+// Span tracing with two explicit time domains.
+//
+//   * Sim domain: timestamps come from the trial's env::VirtualClock. Virtual
+//     time is part of the deterministic simulation state, so sim spans are
+//     bit-identical across thread counts and replayable from a seed — they
+//     are what --trace exports.
+//   * Wall domain: timestamps come from std::chrono::steady_clock, for
+//     self-profiling harness/pipeline hot paths. Wall spans are real
+//     measurements and therefore never participate in determinism checks.
+//
+// A tracer is single-writer: one trial (or one pipeline stage driver) owns
+// it. Parallel sweeps give every trial its own tracer in a per-index slot
+// and the fold appends them in index order, per the PR 2 contract.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "env/clock.hpp"
+#include "telemetry/counters.hpp"
+
+namespace faultstudy::telemetry {
+
+struct Span {
+  std::string name;
+  std::int64_t start = 0;     ///< ticks (sim) or microseconds (wall)
+  std::int64_t duration = 0;  ///< same unit as start
+  std::uint32_t depth = 0;    ///< nesting level at open, 0 = root
+
+  bool operator==(const Span&) const = default;
+};
+
+class SpanTracer {
+ public:
+  SpanTracer() = default;
+
+  /// Timestamps subsequent spans with the simulated clock. The clock must
+  /// outlive the tracer's recording phase.
+  void bind_sim(const env::VirtualClock* clock) noexcept {
+    sim_ = clock;
+    wall_ = false;
+  }
+
+  /// Timestamps subsequent spans with steady_clock microseconds since this
+  /// call.
+  void bind_wall() noexcept {
+    sim_ = nullptr;
+    wall_ = true;
+    wall_epoch_ = std::chrono::steady_clock::now();
+  }
+
+  /// An unbound tracer records nothing; SpanScope checks this once.
+  bool bound() const noexcept { return sim_ != nullptr || wall_; }
+  bool wall_domain() const noexcept { return wall_; }
+
+  std::int64_t now() const noexcept;
+
+  /// Opens a span and returns its index; close() stamps the duration.
+  std::size_t open(std::string_view name);
+  void close(std::size_t index) noexcept;
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  bool empty() const noexcept { return spans_.empty(); }
+  void clear() noexcept {
+    spans_.clear();
+    depth_ = 0;
+  }
+
+ private:
+  const env::VirtualClock* sim_ = nullptr;
+  bool wall_ = false;
+  std::uint32_t depth_ = 0;
+  std::vector<Span> spans_;
+  std::chrono::steady_clock::time_point wall_epoch_{};
+};
+
+/// RAII span: opens on construction when the tracer is non-null and bound,
+/// closes on destruction. Cheap enough for per-recovery granularity; not
+/// meant for per-item inner loops (keep spans coarse — see DESIGN.md).
+class SpanScope {
+ public:
+  SpanScope(SpanTracer* tracer, std::string_view name)
+      : tracer_(tracer != nullptr && tracer->bound() ? tracer : nullptr) {
+    if (tracer_ != nullptr) index_ = tracer_->open(name);
+  }
+  ~SpanScope() {
+    if (tracer_ != nullptr) tracer_->close(index_);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+#define FS_TELEM_CAT2(a, b) a##b
+#define FS_TELEM_CAT(a, b) FS_TELEM_CAT2(a, b)
+
+// TELEM_SPAN(tracer_ptr, "recovery/rollback"): scoped span tied to the
+// enclosing block. Compiles to a void cast when telemetry is off.
+#if FAULTSTUDY_TELEMETRY
+#define TELEM_SPAN(tracer, name)                               \
+  ::faultstudy::telemetry::SpanScope FS_TELEM_CAT(             \
+      fs_telem_span_, __LINE__)((tracer), (name))
+#else
+#define TELEM_SPAN(tracer, name) static_cast<void>(tracer)
+#endif
+
+}  // namespace faultstudy::telemetry

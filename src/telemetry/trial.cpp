@@ -1,0 +1,156 @@
+#include "telemetry/trial.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace faultstudy::telemetry {
+namespace {
+
+std::string joined(std::string_view head, std::string_view tail) {
+  std::string out;
+  out.reserve(head.size() + tail.size() + 1);
+  out.append(head);
+  out.push_back('/');
+  out.append(tail);
+  return out;
+}
+
+}  // namespace
+
+TrialTelemetry::TrialTelemetry()
+    : recovery_latency_ticks(default_tick_bounds()),
+      item_latency_ticks(default_tick_bounds()) {}
+
+void fold_into(const TrialTelemetry& trial, std::string_view mechanism,
+               MetricsRegistry& registry, std::size_t shard) {
+  const auto add = [&](std::string_view name, std::uint64_t n) {
+    if (n > 0) registry.add(registry.counter(name), n, shard);
+  };
+  const auto peak = [&](std::string_view name, std::uint64_t high) {
+    registry.peak(registry.gauge(name), static_cast<std::int64_t>(high),
+                  shard);
+  };
+
+  const ResourceCounters& r = trial.counters.resources;
+  add("env/proc/spawns", r.proc_spawns);
+  add("env/proc/spawn_failures", r.proc_spawn_failures);
+  add("env/proc/kills", r.proc_kills);
+  add("env/proc/marked_hung", r.procs_marked_hung);
+  peak("env/proc/peak", r.peak_procs);
+  add("env/fd/acquired", r.fds_acquired);
+  add("env/fd/acquire_failures", r.fd_acquire_failures);
+  add("env/fd/released", r.fds_released);
+  peak("env/fd/peak", r.peak_fds);
+  add("env/disk/writes", r.disk_writes);
+  add("env/disk/bytes_written", r.disk_bytes_written);
+  add("env/disk/write_failures", r.disk_write_failures);
+  add("env/disk/truncates", r.disk_truncates);
+  peak("env/disk/peak_used", r.peak_disk_used);
+  add("env/dns/lookups", r.dns_lookups);
+  add("env/dns/errors", r.dns_errors);
+  add("env/dns/slow_replies", r.dns_slow_replies);
+  add("env/dns/reverse_misses", r.dns_reverse_misses);
+  add("env/net/port_binds", r.port_binds);
+  add("env/net/port_bind_failures", r.port_bind_failures);
+  add("env/net/ports_released", r.ports_released);
+  add("env/net/kernel_resource_denied", r.kernel_resource_denied);
+  add("env/sched/draws", r.sched_draws);
+  add("env/sched/replays", r.sched_replays);
+  add("env/entropy/reads", r.entropy_reads);
+  add("env/entropy/blocked", r.entropy_blocked);
+  add("env/entropy/bits_taken", r.entropy_bits_taken);
+
+  const AppCounters& a = trial.counters.app;
+  add("app/requests_served", a.requests_served);
+  add("app/cache_fills", a.cache_fills);
+  add("app/cgi_children", a.cgi_children);
+  add("app/queries_ok", a.queries_ok);
+  add("app/ui_events", a.ui_events);
+
+  const std::string mech(mechanism.empty() ? "trial" : mechanism);
+  const RecoveryCounters& c = trial.counters.recovery;
+  const auto rec = [&](std::string_view name, std::uint64_t n) {
+    add(joined("recovery/" + mech, name), n);
+  };
+  rec("attempts", c.attempts);
+  rec("successes", c.successes);
+  rec("failures", c.failures);
+  rec("items_rewound", c.items_rewound);
+  rec("checkpoints", c.checkpoints);
+  rec("failovers", c.failovers);
+  rec("cold_restarts", c.cold_restarts);
+  rec("rejuvenation_cycles", c.rejuvenation_cycles);
+  rec("proactive_rejuvenations", c.proactive_rejuvenations);
+  rec("retries_sanitized", c.retries_sanitized);
+
+  if (!trial.recovery_latency_ticks.empty()) {
+    const HistogramId id =
+        registry.histogram(joined("recovery/" + mech, "latency_ticks"),
+                           trial.recovery_latency_ticks.bounds());
+    registry.merge_histogram(id, trial.recovery_latency_ticks, shard);
+  }
+  if (!trial.item_latency_ticks.empty()) {
+    const HistogramId id =
+        registry.histogram(joined("trial/" + mech, "item_latency_ticks"),
+                           trial.item_latency_ticks.bounds());
+    registry.merge_histogram(id, trial.item_latency_ticks, shard);
+  }
+}
+
+void fold_pool_stats(const util::PoolStats& stats, std::string_view prefix,
+                     MetricsRegistry& registry) {
+  const std::string base(prefix);
+  std::uint64_t chunks = 0;
+  std::uint64_t indices = 0;
+  std::uint64_t micros = 0;
+  std::uint64_t max_pending = 0;
+  std::array<std::uint64_t, util::PoolStats::kLatencyBuckets> latency{};
+  std::size_t active_lanes = 0;
+  for (const auto& lane : stats.lanes) {
+    if (lane.chunks > 0) ++active_lanes;
+    chunks += lane.chunks;
+    indices += lane.indices;
+    micros += lane.micros;
+    max_pending = std::max(max_pending, lane.max_pending);
+    for (std::size_t b = 0; b < latency.size(); ++b) {
+      latency[b] += lane.latency_log2_us[b];
+    }
+  }
+  if (stats.sweeps == 0 && chunks == 0) return;
+
+  registry.add(registry.counter(base + "/sweeps"), stats.sweeps);
+  registry.add(registry.counter(base + "/chunks"), chunks);
+  registry.add(registry.counter(base + "/indices"), indices);
+  registry.add(registry.counter(base + "/busy_micros"), micros);
+  registry.peak(registry.gauge(base + "/max_pending"),
+                static_cast<std::int64_t>(max_pending));
+  registry.peak(registry.gauge(base + "/active_lanes"),
+                static_cast<std::int64_t>(active_lanes));
+
+  // Bucket b of the lane profile covers [2^b, 2^(b+1)) microseconds, so its
+  // inclusive upper edge is 2^(b+1)-1; the last lane bucket becomes the
+  // histogram's overflow bucket.
+  std::vector<std::int64_t> bounds;
+  bounds.reserve(latency.size() - 1);
+  for (std::size_t b = 0; b + 1 < latency.size(); ++b) {
+    bounds.push_back((std::int64_t{1} << (b + 1)) - 1);
+  }
+  const HistogramId id =
+      registry.histogram(base + "/chunk_latency_us", bounds);
+  registry.merge_histogram(
+      id, Histogram::from_buckets(
+              std::move(bounds),
+              std::vector<std::uint64_t>(latency.begin(), latency.end()),
+              static_cast<std::int64_t>(micros)));
+}
+
+void StudyTelemetry::fold_trial(std::string_view mechanism,
+                                std::string_view trace_label,
+                                TrialTelemetry&& trial, bool keep_trace) {
+  fold_into(trial, mechanism, metrics);
+  if (keep_trace && !trial.spans.empty()) {
+    traces.emplace_back(std::string(trace_label), std::move(trial.spans));
+  }
+}
+
+}  // namespace faultstudy::telemetry

@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <string>
+
+#include "util/thread_pool.hpp"
 
 namespace faultstudy::util {
 
@@ -30,9 +33,21 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log(LogLevel level, std::string_view component, std::string_view message) {
   if (level < g_level.load()) return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  // Pre-format the whole line and flush it with one write: lines from
+  // concurrent executor lanes never interleave mid-line, and the lane id
+  // says which lane spoke (0 = the calling/serial thread).
+  std::string line;
+  line.reserve(component.size() + message.size() + 24);
+  line += '[';
+  line += level_name(level);
+  line += "][lane ";
+  line += std::to_string(current_lane());
+  line += "] ";
+  line.append(component);
+  line += ": ";
+  line.append(message);
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace faultstudy::util

@@ -3,7 +3,10 @@
 // The experiment harness produces machine-readable transcripts through
 // harness::Transcript; this logger exists only for human-facing diagnostics
 // in examples and debugging, so it is deliberately tiny: a global level and
-// free functions writing to stderr.
+// free functions writing to stderr. Each line is formatted into one buffer
+// and flushed with a single write, so messages from concurrent executor
+// lanes never interleave mid-line, and each carries the lane id that wrote
+// it (util::current_lane()).
 #pragma once
 
 #include <string_view>

@@ -1,0 +1,365 @@
+// Tests for the telemetry layer: histogram/registry mechanics, span
+// tracing against the simulated clock, the exporters, and the determinism
+// contract — an instrumented run_matrix over the full specimen corpus must
+// produce identical metric snapshots, identical span traces, and a
+// byte-identical Chrome trace for threads=1 and threads=4.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/seeds.hpp"
+#include "corpus/synth.hpp"
+#include "env/clock.hpp"
+#include "harness/experiment.hpp"
+#include "mining/pipeline.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trial.hpp"
+#include "util/thread_pool.hpp"
+
+namespace faultstudy {
+namespace {
+
+// --- histogram ------------------------------------------------------------
+
+TEST(Histogram, PlacesValuesByInclusiveUpperBound) {
+  telemetry::Histogram h({10, 20, 30});
+  h.observe(10);   // first bucket (<= 10)
+  h.observe(11);   // second
+  h.observe(30);   // third
+  h.observe(500);  // overflow
+  EXPECT_EQ(h.buckets(), (std::vector<std::uint64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 551);
+}
+
+TEST(Histogram, MergeSumsMatchingLayouts) {
+  telemetry::Histogram a({1, 2});
+  telemetry::Histogram b({1, 2});
+  a.observe(1);
+  b.observe(2);
+  b.observe(99);
+  a.merge(b);
+  EXPECT_EQ(a.buckets(), (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Histogram, MergeMismatchedBoundsFoldsIntoOverflow) {
+  telemetry::Histogram a({1, 2});
+  telemetry::Histogram b({5});
+  b.observe(3);
+  b.observe(4);
+  a.merge(b);
+  EXPECT_EQ(a.buckets(), (std::vector<std::uint64_t>{0, 0, 2}));
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 7);
+}
+
+TEST(Histogram, FromBucketsReconstructsCounts) {
+  const auto h = telemetry::Histogram::from_buckets(
+      {1, 3}, std::vector<std::uint64_t>{2, 0, 5}, 40);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 40);
+  EXPECT_EQ(h.buckets(), (std::vector<std::uint64_t>{2, 0, 5}));
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(MetricsRegistry, RegistrationInternsNames) {
+  telemetry::MetricsRegistry reg;
+  const auto a = reg.counter("x");
+  const auto b = reg.counter("x");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_NE(reg.counter("y").index, a.index);
+}
+
+TEST(MetricsRegistry, ShardsFoldIntoOneSnapshotValue) {
+  telemetry::MetricsRegistry reg(4);
+  const auto c = reg.counter("hits");
+  const auto g = reg.gauge("depth");
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    reg.add(c, shard + 1, shard);
+    reg.peak(g, static_cast<std::int64_t>(shard * 10), shard);
+  }
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 1u + 2u + 3u + 4u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 30);
+}
+
+TEST(MetricsRegistry, SnapshotSortsByName) {
+  telemetry::MetricsRegistry reg;
+  reg.add(reg.counter("zebra"));
+  reg.add(reg.counter("alpha"));
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "zebra");
+}
+
+TEST(MetricsRegistry, MergeFromUnionsByName) {
+  telemetry::MetricsRegistry a;
+  telemetry::MetricsRegistry b;
+  a.add(a.counter("shared"), 2);
+  b.add(b.counter("shared"), 3);
+  b.add(b.counter("only_b"), 1);
+  b.peak(b.gauge("high"), 7);
+  a.merge_from(b);
+  const auto snap = a.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "only_b");
+  EXPECT_EQ(snap.counters[1].value, 5u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 7);
+}
+
+TEST(Counters, MergeSumsCountersAndMaxesPeaks) {
+  telemetry::TrialCounters a;
+  telemetry::TrialCounters b;
+  a.resources.proc_spawns = 2;
+  a.resources.peak_procs = 5;
+  b.resources.proc_spawns = 3;
+  b.resources.peak_procs = 4;
+  b.recovery.attempts = 1;
+  merge(a, b);
+  EXPECT_EQ(a.resources.proc_spawns, 5u);
+  EXPECT_EQ(a.resources.peak_procs, 5u);
+  EXPECT_EQ(a.recovery.attempts, 1u);
+}
+
+// --- spans ----------------------------------------------------------------
+
+TEST(SpanTracer, SimSpansUseVirtualClock) {
+  env::VirtualClock clock;
+  telemetry::SpanTracer tracer;
+  tracer.bind_sim(&clock);
+  clock.advance(5);
+  {
+    telemetry::SpanScope outer(&tracer, "outer");
+    clock.advance(10);
+    {
+      telemetry::SpanScope inner(&tracer, "inner");
+      clock.advance(2);
+    }
+  }
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].name, "outer");
+  EXPECT_EQ(tracer.spans()[0].start, 5);
+  EXPECT_EQ(tracer.spans()[0].duration, 12);
+  EXPECT_EQ(tracer.spans()[0].depth, 0u);
+  EXPECT_EQ(tracer.spans()[1].name, "inner");
+  EXPECT_EQ(tracer.spans()[1].start, 15);
+  EXPECT_EQ(tracer.spans()[1].duration, 2);
+  EXPECT_EQ(tracer.spans()[1].depth, 1u);
+}
+
+TEST(SpanTracer, UnboundTracerRecordsNothing) {
+  telemetry::SpanTracer tracer;
+  { telemetry::SpanScope scope(&tracer, "ignored"); }
+  EXPECT_TRUE(tracer.empty());
+  { telemetry::SpanScope null_scope(nullptr, "also ignored"); }
+}
+
+#if FAULTSTUDY_TELEMETRY
+TEST(TelemetryMacros, NullSinkIsANoOp) {
+  telemetry::TrialCounters counters;
+  telemetry::TrialCounters* sink = nullptr;
+  FS_TELEM(sink, resources.proc_spawns++);
+  EXPECT_EQ(counters.resources.proc_spawns, 0u);
+  sink = &counters;
+  FS_TELEM(sink, resources.proc_spawns++);
+  EXPECT_EQ(counters.resources.proc_spawns, 1u);
+  FS_TELEM_PEAK(&counters.resources, peak_procs, 9);
+  FS_TELEM_PEAK(&counters.resources, peak_procs, 3);
+  EXPECT_EQ(counters.resources.peak_procs, 9u);
+}
+#endif
+
+// --- exporters ------------------------------------------------------------
+
+TEST(Exporters, ChromeTraceEmitsCompleteEvents) {
+  env::VirtualClock clock;
+  telemetry::SpanTracer tracer;
+  tracer.bind_sim(&clock);
+  {
+    telemetry::SpanScope scope(&tracer, "trial");
+    clock.advance(7);
+  }
+  const auto json = telemetry::to_chrome_trace({{"cell \"a\"", &tracer}});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":7"), std::string::npos);
+  EXPECT_NE(json.find("cell \\\"a\\\""), std::string::npos);  // escaped label
+}
+
+TEST(Exporters, PrometheusSanitizesNamesAndExpandsHistograms) {
+  telemetry::MetricsRegistry reg;
+  reg.add(reg.counter("env/proc/spawns"), 4);
+  const auto id = reg.histogram("lat", {1, 2});
+  reg.observe(id, 1);
+  reg.observe(id, 99);
+  const auto text = telemetry::to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("env_proc_spawns 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 2"), std::string::npos);
+}
+
+TEST(Exporters, JsonRoundsTripKeyValues) {
+  telemetry::MetricsRegistry reg;
+  reg.add(reg.counter("c"), 2);
+  reg.peak(reg.gauge("g"), -3);
+  const auto json = telemetry::to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"c\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":-3"), std::string::npos);
+}
+
+// --- pool stats -----------------------------------------------------------
+
+TEST(PoolStats, AmbientSinkProfilesTransientPools) {
+  util::PoolStats stats;
+  stats.reset(4);
+  util::set_ambient_pool_stats(&stats);
+  std::vector<int> out(512, 0);
+  util::parallel_for_index(out.size(), 4,
+                           [&](std::size_t i) { out[i] = 1; });
+  util::set_ambient_pool_stats(nullptr);
+
+  std::uint64_t indices = 0;
+  for (const auto& lane : stats.lanes) indices += lane.indices;
+  EXPECT_EQ(stats.sweeps, 1u);
+  EXPECT_EQ(indices, out.size());
+
+  telemetry::MetricsRegistry reg;
+  telemetry::fold_pool_stats(stats, "pool", reg);
+  const auto snap = reg.snapshot();
+  bool saw_indices = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "pool/indices") {
+      saw_indices = true;
+      EXPECT_EQ(c.value, out.size());
+    }
+  }
+  EXPECT_TRUE(saw_indices);
+}
+
+// --- determinism ----------------------------------------------------------
+
+#if FAULTSTUDY_TELEMETRY
+TEST(TelemetryDeterminism, InstrumentedTrialMatchesItselfAndCounts) {
+  const auto seeds = corpus::all_seeds();
+  ASSERT_FALSE(seeds.empty());
+  const auto plan = inject::plan_for(seeds.front(), 7);
+  const auto factory = harness::standard_mechanisms().front().make;
+
+  telemetry::TrialTelemetry a;
+  telemetry::TrialTelemetry b;
+  {
+    auto mech = factory();
+    harness::run_trial(plan, *mech, {}, nullptr, &a);
+  }
+  {
+    auto mech = factory();
+    harness::run_trial(plan, *mech, {}, nullptr, &b);
+  }
+  EXPECT_EQ(a.spans.spans(), b.spans.spans());
+  EXPECT_EQ(a.recovery_latency_ticks, b.recovery_latency_ticks);
+  EXPECT_EQ(a.item_latency_ticks, b.item_latency_ticks);
+  // The workload ran, so per-item latencies were recorded.
+  EXPECT_GT(a.item_latency_ticks.count(), 0u);
+}
+
+TEST(TelemetryDeterminism, MatrixSnapshotsAndTracesMatchAcrossThreadCounts) {
+  // The full specimen corpus: the strongest form of the determinism
+  // contract — study-level metrics, kept traces, and the serialized Chrome
+  // timeline must be byte-identical for threads=1 and threads=4.
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+
+  const auto run = [&](std::size_t threads) {
+    harness::TrialConfig config;
+    config.threads = threads;
+    auto telem = std::make_unique<telemetry::StudyTelemetry>();
+    harness::run_matrix(seeds, mechanisms, config, 3, telem.get());
+    return telem;
+  };
+  const auto serial = run(1);
+  const auto wide = run(4);
+
+  EXPECT_EQ(serial->metrics.snapshot(), wide->metrics.snapshot());
+
+  ASSERT_EQ(serial->traces.size(), wide->traces.size());
+  for (std::size_t i = 0; i < serial->traces.size(); ++i) {
+    EXPECT_EQ(serial->traces[i].first, wide->traces[i].first);
+    EXPECT_EQ(serial->traces[i].second.spans(),
+              wide->traces[i].second.spans())
+        << serial->traces[i].first;
+  }
+
+  const auto to_threads = [](const telemetry::StudyTelemetry& t) {
+    std::vector<telemetry::TraceThread> threads;
+    threads.reserve(t.traces.size());
+    for (const auto& [label, tracer] : t.traces) {
+      threads.push_back({label, &tracer});
+    }
+    return threads;
+  };
+  EXPECT_EQ(telemetry::to_chrome_trace(to_threads(*serial)),
+            telemetry::to_chrome_trace(to_threads(*wide)));
+  EXPECT_EQ(telemetry::to_prometheus(serial->metrics.snapshot()),
+            telemetry::to_prometheus(wide->metrics.snapshot()));
+}
+
+TEST(TelemetryDeterminism, InstrumentationDoesNotChangeResults) {
+  // Telemetry observes; it must never steer. The matrix with and without a
+  // sink attached reports the same survival table.
+  auto seeds = corpus::all_seeds();
+  seeds.resize(12);
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = 2;
+
+  const auto bare = harness::run_matrix(seeds, mechanisms, config);
+  telemetry::StudyTelemetry telem;
+  const auto instrumented =
+      harness::run_matrix(seeds, mechanisms, config, 3, &telem);
+
+  ASSERT_EQ(bare.reports.size(), instrumented.reports.size());
+  for (std::size_t i = 0; i < bare.reports.size(); ++i) {
+    EXPECT_EQ(bare.reports[i].survived, instrumented.reports[i].survived);
+    EXPECT_EQ(bare.reports[i].total, instrumented.reports[i].total);
+  }
+  EXPECT_FALSE(telem.metrics.snapshot().empty());
+  EXPECT_FALSE(telem.traces.empty());
+}
+
+TEST(TelemetryDeterminism, PipelineProfileDoesNotChangeMinedBugs) {
+  const auto tracker = corpus::make_apache_tracker();
+  mining::PipelineOptions bare;
+  bare.threads = 2;
+  mining::PipelineOptions profiled = bare;
+  telemetry::PipelineTelemetry profile;
+  profiled.telemetry = &profile;
+
+  const auto a = mining::run_tracker_pipeline(tracker, bare);
+  const auto b = mining::run_tracker_pipeline(tracker, profiled);
+  ASSERT_EQ(a.bugs.size(), b.bugs.size());
+  for (std::size_t i = 0; i < a.bugs.size(); ++i) {
+    EXPECT_EQ(a.bugs[i].report_ids, b.bugs[i].report_ids);
+  }
+  // Wall-domain spans exist but their durations are real time — assert
+  // structure only, never values.
+  EXPECT_FALSE(profile.spans.empty());
+  EXPECT_TRUE(profile.spans.wall_domain());
+  EXPECT_FALSE(profile.metrics.snapshot().empty());
+}
+#endif  // FAULTSTUDY_TELEMETRY
+
+}  // namespace
+}  // namespace faultstudy
