@@ -1,0 +1,249 @@
+// Forensics overhead benchmarks and gates (google-benchmark).
+//
+// Before benchmarking, main() runs two gates on the full recovery matrix,
+// mirroring perf_telemetry:
+//
+//   identity   a matrix run with a forensic sink must serialize to
+//              byte-identical JSON and explorer HTML for 1 and 4 lanes
+//              (the determinism contract of DESIGN.md §10);
+//   overhead   the flight-recorded matrix must cost at most 5% more wall
+//              time than the no-sink run (FAULTSTUDY_FORENSICS_GATE
+//              overrides the percentage; 0 skips the gate). With no sink
+//              attached each FS_FORENSIC site is one null check, and a
+//              FAULTSTUDY_FORENSICS=OFF build removes even that.
+//
+// Gate measurements land in BENCH_forensics.json (bench::BenchJson).
+//
+// Benchmark rows:
+//   BM_RingRecord          one flight-recorder append
+//   BM_RingSnapshot        chronological() over a full ring
+//   BM_MatrixBare/T        recovery matrix, no forensic sink
+//   BM_MatrixForensics/T   recovery matrix, ring + post-mortems + fold
+//   BM_BuildPostmortem     one causal-chain reconstruction
+//   BM_TriageCluster       clustering the full study's post-mortems
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "corpus/seeds.hpp"
+#include "forensics/export.hpp"
+#include "forensics/postmortem.hpp"
+#include "forensics/triage.hpp"
+#include "harness/experiment.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+void BM_RingRecord(benchmark::State& state) {
+  env::VirtualClock clock;
+  forensics::FlightRecorder ring;
+  ring.bind_clock(&clock);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ring.record(forensics::FlightCode::kItemFailed, i++, 3);
+  }
+  benchmark::DoNotOptimize(ring.total_recorded());
+}
+BENCHMARK(BM_RingRecord);
+
+void BM_RingSnapshot(benchmark::State& state) {
+  forensics::FlightRecorder ring;
+  for (std::uint64_t i = 0; i < 2 * forensics::kDefaultRingCapacity; ++i) {
+    ring.record(forensics::FlightCode::kCheckpoint, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.chronological());
+  }
+}
+BENCHMARK(BM_RingSnapshot);
+
+void BM_MatrixBare(benchmark::State& state) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_matrix(seeds, mechanisms, config));
+  }
+}
+BENCHMARK(BM_MatrixBare)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixForensics(benchmark::State& state) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    forensics::StudyForensics study;
+    benchmark::DoNotOptimize(
+        harness::run_matrix(seeds, mechanisms, config, 3, nullptr, &study));
+    benchmark::DoNotOptimize(study.failures());
+  }
+}
+BENCHMARK(BM_MatrixForensics)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_BuildPostmortem(benchmark::State& state) {
+  // A synthetic but representative failed trial: armed fault, a resource
+  // prelude, a dozen failure/recovery rounds, then a failed verdict.
+  env::Environment environment;
+  forensics::FlightRecorder ring;
+  ring.bind_clock(&environment.clock());
+  ring.record(forensics::FlightCode::kTrialStart, 40, 2);
+  ring.record(forensics::FlightCode::kFaultArmed,
+              static_cast<std::uint64_t>(core::Trigger::kDiskCacheFull),
+              0);
+  ring.record(forensics::FlightCode::kEnvArmed);
+  ring.record(forensics::FlightCode::kDiskFull, 4096, 1024);
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    ring.record(forensics::FlightCode::kItemFailed, i, 3);
+    ring.record(forensics::FlightCode::kRecoveryBegin, i);
+    ring.record(forensics::FlightCode::kColdRestart);
+    ring.record(forensics::FlightCode::kRecoveryOk, i, 0);
+  }
+  ring.record(forensics::FlightCode::kVerdict,
+              static_cast<std::uint64_t>(
+                  forensics::TrialVerdict::kRetryCapExceeded));
+  forensics::PostMortemInputs inputs;
+  inputs.fault_id = "bench-edn-01";
+  inputs.fault_class = core::FaultClass::kEnvDependentNonTransient;
+  inputs.trigger = core::Trigger::kDiskCacheFull;
+  inputs.mechanism = "cold-restart";
+  inputs.verdict = forensics::TrialVerdict::kRetryCapExceeded;
+  inputs.failures = 13;
+  inputs.recoveries = 12;
+  inputs.first_failure = "disk full writing access log";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        forensics::build_postmortem(ring, environment, inputs));
+  }
+}
+BENCHMARK(BM_BuildPostmortem);
+
+const forensics::StudyForensics& full_study() {
+  static const forensics::StudyForensics study = [] {
+    forensics::StudyForensics s;
+    harness::run_matrix(corpus::all_seeds(), harness::standard_mechanisms(),
+                        {}, 3, nullptr, &s);
+    return s;
+  }();
+  return study;
+}
+
+void BM_TriageCluster(benchmark::State& state) {
+  const auto& study = full_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forensics::triage(study.postmortems));
+  }
+  state.counters["postmortems"] =
+      static_cast<double>(study.postmortems.size());
+}
+BENCHMARK(BM_TriageCluster)->Unit(benchmark::kMillisecond);
+
+double matrix_millis_once(bool with_forensics) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = 1;  // the serial path isolates per-trial overhead
+  forensics::StudyForensics study;
+  const auto start = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(harness::run_matrix(
+      seeds, mechanisms, config, 3, nullptr,
+      with_forensics ? &study : nullptr));
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// Minimum wall time over `rounds` interleaved bare/recorded pairs. The
+/// pairing keeps ambient load drift symmetric between the variants and the
+/// minimum is the lowest-noise estimator of the true cost, so the gate is
+/// stable on loaded CI machines.
+std::pair<double, double> interleaved_min_millis(int rounds) {
+  double bare = 0.0, recorded = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    const double b = matrix_millis_once(false);
+    const double f = matrix_millis_once(true);
+    bare = r == 0 ? b : std::min(bare, b);
+    recorded = r == 0 ? f : std::min(recorded, f);
+  }
+  return {bare, recorded};
+}
+
+/// Full-corpus determinism gate: the forensic JSON dump and the explorer
+/// HTML must be byte-identical for 1 and 4 lanes.
+bool forensics_identity_ok() {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  const auto render = [&](std::size_t threads) {
+    harness::TrialConfig config;
+    config.threads = threads;
+    forensics::StudyForensics study;
+    const auto matrix =
+        harness::run_matrix(seeds, mechanisms, config, 3, nullptr, &study);
+    const auto clusters = forensics::triage(study.postmortems);
+    std::vector<forensics::MechanismSuccessRow> rows;
+    for (const auto& report : matrix.reports) {
+      rows.push_back({report.mechanism, report.generic, report.survived_all(),
+                      report.total_all(), report.state_losses});
+    }
+    return std::pair<std::string, std::string>(
+        forensics::to_json(study, clusters),
+        forensics::render_explorer_html(study, clusters, rows, "bench"));
+  };
+  const auto serial = render(1);
+  const auto wide = render(4);
+  return serial.first == wide.first && serial.second == wide.second;
+}
+
+double gate_percent() {
+  if (const char* env = std::getenv("FAULTSTUDY_FORENSICS_GATE")) {
+    return std::strtod(env, nullptr);
+  }
+  return 5.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!forensics_identity_ok()) {
+    std::fprintf(stderr, "FATAL: forensic artifacts differ between 1 and 4 "
+                         "lanes\n");
+    return 1;
+  }
+  std::printf("forensics identity check: OK (JSON + explorer HTML, 1 vs 4 "
+              "lanes)\n");
+
+  const double gate = gate_percent();
+  if (gate > 0.0) {
+    constexpr int kRounds = 5;
+    // Warm-up evens out first-touch allocation between the variants.
+    (void)matrix_millis_once(false);
+    const auto [bare, recorded] = interleaved_min_millis(kRounds);
+    const double overhead = (recorded - bare) / bare * 100.0;
+    std::printf("forensics overhead gate: bare %.1f ms, recorded %.1f ms "
+                "-> %+.2f%% (gate %.1f%%, min over %d interleaved rounds)\n",
+                bare, recorded, overhead, gate, kRounds);
+    if (overhead > gate) {
+      std::fprintf(stderr, "FATAL: forensics overhead %+.2f%% exceeds %.1f%%\n",
+                   overhead, gate);
+      return 1;
+    }
+    bench::BenchJson json("forensics");
+    json.add("matrix_bare_min", bare, "ms");
+    json.add("matrix_recorded_min", recorded, "ms");
+    json.add("overhead", overhead, "percent");
+    json.add("gate", gate, "percent");
+    if (!json.write()) return 1;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

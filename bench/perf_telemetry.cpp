@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "corpus/seeds.hpp"
 #include "env/clock.hpp"
 #include "harness/experiment.hpp"
@@ -187,6 +188,13 @@ int main(int argc, char** argv) {
                    overhead, gate);
       return 1;
     }
+    bench::BenchJson json("telemetry");
+    json.add("matrix_bare_median", bare, "ms");
+    json.add("matrix_instrumented_median", instrumented, "ms");
+    json.add("overhead", overhead, "percent");
+    json.add("noise_floor", noise, "percent");
+    json.add("gate", gate, "percent");
+    if (!json.write()) return 1;
   }
 
   benchmark::Initialize(&argc, argv);

@@ -41,6 +41,7 @@
 #include "report/table.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/trial.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -75,7 +76,9 @@ int usage() {
       "  --seed N           base trial seed for simulate/matrix\n"
       "  --telemetry=PATH   write a metrics snapshot (.json = JSON, else "
       "Prometheus text)\n"
-      "  --trace=PATH       write a Chrome trace_event timeline\n",
+      "  --trace=PATH       write a Chrome trace_event timeline\n"
+      "  --log-level=LEVEL  diagnostic verbosity: debug|info|warn|error|off "
+      "(default warn)\n",
       stderr);
   return 2;
 }
@@ -382,6 +385,13 @@ int main(int argc, char** argv) {
     if (arg.starts_with("--trace=")) {
       g_trace_path = arg.substr(std::strlen("--trace="));
       if (g_trace_path.empty()) return usage();
+      continue;
+    }
+    if (arg.starts_with("--log-level=")) {
+      const auto level =
+          util::parse_log_level(arg.substr(std::strlen("--log-level=")));
+      if (!level.has_value()) return usage();
+      util::set_log_level(*level);
       continue;
     }
     args.push_back(arg);

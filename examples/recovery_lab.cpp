@@ -6,6 +6,7 @@
 //
 //   ./build/examples/recovery_lab [fault-id] [mechanism]
 //       [--repeats R] [--threads N] [--telemetry=PATH] [--trace=PATH]
+//       [--log-level=LEVEL]
 //   e.g. ./build/examples/recovery_lab apache-edt-02 process-pairs
 //        ./build/examples/recovery_lab apache-edn-02 cold-restart --threads 4
 //
@@ -24,6 +25,7 @@
 #include "harness/transcript.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/trial.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 using namespace faultstudy;
@@ -65,6 +67,17 @@ int main(int argc, char** argv) {
     }
     if (arg.starts_with("--trace=")) {
       trace_path = arg.substr(std::strlen("--trace="));
+      continue;
+    }
+    if (arg.starts_with("--log-level=")) {
+      const auto level =
+          util::parse_log_level(arg.substr(std::strlen("--log-level=")));
+      if (!level.has_value()) {
+        std::fprintf(stderr,
+                     "--log-level wants debug|info|warn|error|off\n");
+        return 1;
+      }
+      util::set_log_level(*level);
       continue;
     }
     args.push_back(arg);

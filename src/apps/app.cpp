@@ -35,6 +35,8 @@ bool BaseApp::base_start(env::Environment& e) {
     workers_.push_back(*pid);
   }
   running_ = true;
+  FS_FORENSIC(e.flight(),
+              record(forensics::FlightCode::kAppStarted, workers_.size()));
   return true;
 }
 
@@ -44,6 +46,9 @@ void BaseApp::base_stop(env::Environment& e) {
   e.network().release_ports_of(std::string(name_));
   workers_.clear();
   state_.fd_footprint = 0;
+  if (running_) {
+    FS_FORENSIC(e.flight(), record(forensics::FlightCode::kAppStopped));
+  }
   running_ = false;
 }
 
@@ -297,6 +302,8 @@ std::optional<StepResult> BaseApp::check_fault(const WorkItem& item,
       // The bug: load spawns children that hang and are never reaped.
       auto pid = e.processes().spawn(owner);
       if (!pid.has_value()) return fail("process table full");
+      FS_FORENSIC(e.flight(),
+                  record(forensics::FlightCode::kAppChildSpawned, *pid));
       e.processes().mark_hung(*pid);
       return std::nullopt;
     }

@@ -93,6 +93,8 @@ StepResult WebServer::handle(const WorkItem& item, env::Environment& e) {
   // Heavy requests run a CGI child for the duration of the item.
   if (item.heavy) {
     if (auto pid = e.processes().spawn("apache"); pid.has_value()) {
+      FS_FORENSIC(e.flight(),
+                  record(forensics::FlightCode::kAppChildSpawned, *pid));
       e.processes().kill(*pid);
       FS_TELEM(e.counters(), app.cgi_children++);
     }

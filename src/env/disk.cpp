@@ -5,11 +5,15 @@ namespace faultstudy::env {
 Disk::WriteResult Disk::append(const std::string& path, std::uint64_t bytes) {
   if (free_space() < bytes) {
     FS_TELEM(counters_, disk_write_failures++);
+    FS_FORENSIC(flight_,
+                record(forensics::FlightCode::kDiskFull, bytes, used_));
     return WriteResult::kNoSpace;
   }
   auto& info = files_[path];
   if (info.size + bytes > max_file_size_) {
     FS_TELEM(counters_, disk_write_failures++);
+    FS_FORENSIC(flight_, record(forensics::FlightCode::kFileSizeLimit, bytes,
+                                max_file_size_));
     return WriteResult::kFileTooBig;
   }
   info.size += bytes;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "forensics/recorder.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -70,12 +71,18 @@ class Disk {
     counters_ = counters;
   }
 
+  /// Per-trial flight recorder; nullptr (the default) records nothing.
+  void set_flight(forensics::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
  private:
   std::uint64_t capacity_;
   std::uint64_t max_file_size_;
   std::uint64_t used_ = 0;
   std::unordered_map<std::string, FileInfo> files_;
   telemetry::ResourceCounters* counters_ = nullptr;
+  forensics::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -9,6 +9,11 @@ DnsHealth DnsServer::health(Tick now) const noexcept {
 void DnsServer::break_until(DnsHealth state, Tick until) noexcept {
   forced_ = state;
   forced_until_ = until;
+  if (state != DnsHealth::kHealthy) {
+    FS_FORENSIC(flight_,
+                record(forensics::FlightCode::kDnsBroken,
+                       static_cast<std::uint64_t>(state), until));
+  }
 }
 
 DnsReply DnsServer::resolve(const std::string& host, Tick now) const {

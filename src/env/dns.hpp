@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "env/clock.hpp"
+#include "forensics/recorder.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -49,12 +50,18 @@ class DnsServer {
     counters_ = counters;
   }
 
+  /// Per-trial flight recorder; nullptr (the default) records nothing.
+  void set_flight(forensics::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
  private:
   DnsHealth forced_ = DnsHealth::kHealthy;
   Tick forced_until_ = 0;
   std::unordered_set<std::string> reverse_records_;
   // Lookups are logically const; the sink they record into is not.
   telemetry::ResourceCounters* counters_ = nullptr;
+  forensics::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace faultstudy::env

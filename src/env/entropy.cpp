@@ -22,6 +22,8 @@ bool EntropyPool::take(std::uint64_t want, Tick now) noexcept {
   FS_TELEM(counters_, entropy_reads++);
   if (bits_ < want) {
     FS_TELEM(counters_, entropy_blocked++);
+    FS_FORENSIC(flight_,
+                record(forensics::FlightCode::kEntropyBlocked, want, bits_));
     return false;
   }
   bits_ -= want;

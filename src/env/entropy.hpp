@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "env/clock.hpp"
+#include "forensics/recorder.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -34,6 +35,11 @@ class EntropyPool {
     counters_ = counters;
   }
 
+  /// Per-trial flight recorder; nullptr (the default) records nothing.
+  void set_flight(forensics::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
  private:
   void settle(Tick now) const noexcept;
 
@@ -41,6 +47,7 @@ class EntropyPool {
   std::uint64_t refill_per_tick_;
   mutable Tick last_ = 0;
   telemetry::ResourceCounters* counters_ = nullptr;
+  forensics::FlightRecorder* flight_ = nullptr;
   static constexpr std::uint64_t kPoolMax = 4096;
 };
 

@@ -23,4 +23,15 @@ void Environment::set_counters(telemetry::TrialCounters* counters) noexcept {
   entropy_.set_counters(resources);
 }
 
+void Environment::set_flight(forensics::FlightRecorder* flight) noexcept {
+  flight_ = flight;
+  processes_.set_flight(flight);
+  fds_.set_flight(flight);
+  disk_.set_flight(flight);
+  dns_.set_flight(flight);
+  network_.set_flight(flight);
+  entropy_.set_flight(flight);
+  signals_.set_flight(flight);
+}
+
 }  // namespace faultstudy::env

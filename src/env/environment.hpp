@@ -23,6 +23,7 @@
 #include "env/scheduler.hpp"
 #include "env/signals.hpp"
 #include "env/trace.hpp"
+#include "forensics/recorder.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -76,6 +77,15 @@ class Environment {
   /// The bound per-trial sink, or nullptr when telemetry is detached.
   telemetry::TrialCounters* counters() noexcept { return counters_; }
 
+  /// Binds a per-trial flight recorder: subsystems record resource
+  /// transitions (descriptor exhaustion, disk-full, link degradation, …)
+  /// into the ring; apps and recovery mechanisms reach it through
+  /// flight(). Pass nullptr to detach (the default state).
+  void set_flight(forensics::FlightRecorder* flight) noexcept;
+
+  /// The bound flight recorder, or nullptr when forensics is detached.
+  forensics::FlightRecorder* flight() noexcept { return flight_; }
+
  private:
   EnvironmentConfig config_;
   VirtualClock clock_;
@@ -90,6 +100,7 @@ class Environment {
   TraceLog trace_;
   std::string hostname_ = "production-host";
   telemetry::TrialCounters* counters_ = nullptr;
+  forensics::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -7,6 +7,8 @@ namespace faultstudy::env {
 bool FdTable::acquire(const std::string& owner, std::size_t n) {
   if (available() < n) {
     FS_TELEM(counters_, fd_acquire_failures++);
+    FS_FORENSIC(flight_,
+                record(forensics::FlightCode::kFdExhausted, n, used_));
     return false;
   }
   held_[owner] += n;

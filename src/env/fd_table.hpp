@@ -10,6 +10,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "forensics/recorder.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -44,11 +45,17 @@ class FdTable {
     counters_ = counters;
   }
 
+  /// Per-trial flight recorder; nullptr (the default) records nothing.
+  void set_flight(forensics::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
  private:
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::unordered_map<std::string, std::size_t> held_;
   telemetry::ResourceCounters* counters_ = nullptr;
+  forensics::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace faultstudy::env

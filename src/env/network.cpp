@@ -9,6 +9,11 @@ LinkState Network::link(Tick now) const noexcept {
 void Network::degrade_until(LinkState state, Tick until) noexcept {
   forced_ = state;
   forced_until_ = until;
+  if (state != LinkState::kNormal) {
+    FS_FORENSIC(flight_,
+                record(forensics::FlightCode::kLinkDegraded,
+                       static_cast<std::uint64_t>(state), until));
+  }
 }
 
 bool Network::bind_port(int port, const std::string& owner) {
@@ -18,6 +23,9 @@ bool Network::bind_port(int port, const std::string& owner) {
     FS_TELEM(counters_, port_binds++);
   } else {
     FS_TELEM(counters_, port_bind_failures++);
+    FS_FORENSIC(flight_,
+                record(forensics::FlightCode::kPortDenied,
+                       static_cast<std::uint64_t>(port)));
   }
   return inserted;
 }
@@ -54,6 +62,8 @@ std::string Network::port_owner(int port) const {
 bool Network::consume_kernel_resource(std::size_t n) noexcept {
   if (kernel_resource_ < n) {
     FS_TELEM(counters_, kernel_resource_denied++);
+    FS_FORENSIC(flight_, record(forensics::FlightCode::kKernelResourceDenied,
+                                n, kernel_resource_));
     return false;
   }
   kernel_resource_ -= n;

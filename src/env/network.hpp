@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "env/clock.hpp"
+#include "forensics/recorder.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -19,7 +20,10 @@ class Network {
 
   /// The physical interface (the PCMCIA card of apache-edn-07).
   bool card_present() const noexcept { return card_present_; }
-  void remove_card() noexcept { card_present_ = false; }
+  void remove_card() noexcept {
+    card_present_ = false;
+    FS_FORENSIC(flight_, record(forensics::FlightCode::kCardRemoved));
+  }
   void insert_card() noexcept { card_present_ = true; }
 
   /// Port binding. A port bound by one owner cannot be bound by another
@@ -44,6 +48,11 @@ class Network {
     counters_ = counters;
   }
 
+  /// Per-trial flight recorder; nullptr (the default) records nothing.
+  void set_flight(forensics::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
  private:
   LinkState forced_ = LinkState::kNormal;
   Tick forced_until_ = 0;
@@ -51,6 +60,7 @@ class Network {
   std::unordered_map<int, std::string> ports_;
   std::size_t kernel_resource_ = 1u << 20;
   telemetry::ResourceCounters* counters_ = nullptr;
+  forensics::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace faultstudy::env

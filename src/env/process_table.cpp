@@ -5,6 +5,8 @@ namespace faultstudy::env {
 std::optional<Pid> ProcessTable::spawn(const std::string& owner) {
   if (full()) {
     FS_TELEM(counters_, proc_spawn_failures++);
+    FS_FORENSIC(flight_,
+                record(forensics::FlightCode::kProcTableFull, capacity_));
     return std::nullopt;
   }
   const Pid pid = next_pid_++;
@@ -28,6 +30,7 @@ bool ProcessTable::mark_hung(Pid pid) {
   if (it == procs_.end()) return false;
   it->second.hung = true;
   FS_TELEM(counters_, procs_marked_hung++);
+  FS_FORENSIC(flight_, record(forensics::FlightCode::kProcHung, pid));
   return true;
 }
 

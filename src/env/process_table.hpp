@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "forensics/recorder.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -71,11 +72,17 @@ class ProcessTable {
     counters_ = counters;
   }
 
+  /// Per-trial flight recorder; nullptr (the default) records nothing.
+  void set_flight(forensics::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
  private:
   std::size_t capacity_;
   std::unordered_map<Pid, Process> procs_;
   Pid next_pid_ = 100;
   telemetry::ResourceCounters* counters_ = nullptr;
+  forensics::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -6,6 +6,8 @@ namespace faultstudy::env {
 
 void SignalBus::raise(Signal signal, Tick at) {
   pending_.push_back({signal, at});
+  FS_FORENSIC(flight_, record(forensics::FlightCode::kSignalRaised,
+                              static_cast<std::uint64_t>(signal), at));
 }
 
 std::vector<Signal> SignalBus::deliver_due(Tick now) {

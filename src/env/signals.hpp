@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "env/clock.hpp"
+#include "forensics/recorder.hpp"
 
 namespace faultstudy::env {
 
@@ -33,8 +34,14 @@ class SignalBus {
 
   void clear() noexcept { pending_.clear(); }
 
+  /// Per-trial flight recorder; nullptr (the default) records nothing.
+  void set_flight(forensics::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
  private:
   std::vector<PendingSignal> pending_;
+  forensics::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace faultstudy::env

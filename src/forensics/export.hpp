@@ -1,0 +1,42 @@
+// Serialization of forensic artifacts: machine-readable JSON for tooling
+// and a self-contained HTML study explorer for humans.
+//
+// Both renderers walk deterministic collections in deterministic order and
+// never emit wall-clock time, lane ids, or floating-point formatting traps,
+// so their output is byte-identical for every `--threads` value — the same
+// contract the telemetry exporters honor.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "forensics/postmortem.hpp"
+#include "forensics/triage.hpp"
+
+namespace faultstudy::forensics {
+
+/// Recovery-success context for the explorer's drill-down, built by the
+/// caller from the matrix result (forensics itself only sees failures).
+struct MechanismSuccessRow {
+  std::string mechanism;
+  bool generic = true;
+  std::size_t survived = 0;  ///< cells survived across all fault classes
+  std::size_t total = 0;     ///< cells where the fault was observed
+  std::size_t state_losses = 0;
+};
+
+/// Full forensic dump: study totals, every post-mortem (chain, env state,
+/// ring events — lane ids omitted), and the triage clusters.
+std::string to_json(const StudyForensics& study,
+                    const std::vector<TriageCluster>& clusters);
+
+/// Self-contained HTML study explorer: summary tiles, the triage table,
+/// recovery success drill-down, and per-specimen causal timelines grouped
+/// by cluster. No external assets; inline CSS and a few lines of JS.
+std::string render_explorer_html(
+    const StudyForensics& study, const std::vector<TriageCluster>& clusters,
+    const std::vector<MechanismSuccessRow>& mechanisms,
+    std::string_view title);
+
+}  // namespace faultstudy::forensics

@@ -1,0 +1,62 @@
+#include "forensics/triage.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace faultstudy::forensics {
+
+std::string failure_signature(const PostMortemRecord& pm) {
+  std::string sig;
+  sig += core::to_code(pm.fault_class);
+  sig += '/';
+  sig += core::to_string(pm.trigger);
+  sig += "/via:";
+  sig += pm.propagation == FlightCode::kCount ? "direct"
+                                              : to_string(pm.propagation);
+  sig += '/';
+  sig += pm.mechanism;
+  sig += '/';
+  sig += to_string(pm.verdict);
+  return sig;
+}
+
+std::vector<TriageCluster> triage(
+    const std::vector<PostMortemRecord>& postmortems) {
+  // std::map keys the accumulation deterministically; the final sort
+  // re-orders by size for presentation.
+  std::map<std::string, TriageCluster> clusters;
+  for (const PostMortemRecord& pm : postmortems) {
+    std::string sig = failure_signature(pm);
+    TriageCluster& c = clusters[sig];
+    if (c.count == 0) {
+      c.signature = std::move(sig);
+      c.fault_class = pm.fault_class;
+      c.trigger = pm.trigger;
+      c.propagation = pm.propagation;
+      c.mechanism = pm.mechanism;
+      c.verdict = pm.verdict;
+    }
+    ++c.count;
+    c.total_failures += pm.failures;
+    c.total_recoveries += pm.recoveries;
+    c.fault_ids.push_back(pm.fault_id);
+  }
+
+  std::vector<TriageCluster> out;
+  out.reserve(clusters.size());
+  for (auto& [sig, cluster] : clusters) {
+    std::sort(cluster.fault_ids.begin(), cluster.fault_ids.end());
+    cluster.fault_ids.erase(
+        std::unique(cluster.fault_ids.begin(), cluster.fault_ids.end()),
+        cluster.fault_ids.end());
+    out.push_back(std::move(cluster));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TriageCluster& x, const TriageCluster& y) {
+              if (x.count != y.count) return x.count > y.count;
+              return x.signature < y.signature;
+            });
+  return out;
+}
+
+}  // namespace faultstudy::forensics

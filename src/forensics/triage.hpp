@@ -1,0 +1,47 @@
+// Failure triage: clusters post-mortems across the matrix by failure
+// signature so the study explorer (and the report's forensics section) can
+// say "these 54 failed trials are all the same story" instead of listing
+// every cell.
+//
+// A signature is fault class × propagation path × mechanism × verdict —
+// the axes Chandra & Chen's §6 discussion turns on: *what kind* of fault,
+// *through which environmental channel* it reached the application, *which
+// mechanism* tried to save it, and *how* the attempt ended. Clustering is
+// pure counting over deterministic records, so the cluster list is
+// identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+#include "forensics/postmortem.hpp"
+
+namespace faultstudy::forensics {
+
+/// One cluster of like failures.
+struct TriageCluster {
+  std::string signature;  ///< "class/trigger/via:<path>/mechanism/verdict"
+  core::FaultClass fault_class = core::FaultClass::kEnvironmentIndependent;
+  core::Trigger trigger = core::Trigger::kBoundaryInput;
+  FlightCode propagation = FlightCode::kCount;
+  std::string mechanism;
+  TrialVerdict verdict = TrialVerdict::kSurvived;
+
+  std::size_t count = 0;            ///< post-mortems in the cluster
+  std::size_t total_failures = 0;   ///< summed item failures
+  std::size_t total_recoveries = 0; ///< summed recovery attempts
+  /// Distinct specimen ids, sorted; the explorer drills into these.
+  std::vector<std::string> fault_ids;
+};
+
+/// The signature string a post-mortem clusters under.
+std::string failure_signature(const PostMortemRecord& pm);
+
+/// Clusters post-mortems by signature. Output is sorted by descending
+/// count, then signature, so it is deterministic and biggest-story-first.
+std::vector<TriageCluster> triage(
+    const std::vector<PostMortemRecord>& postmortems);
+
+}  // namespace faultstudy::forensics

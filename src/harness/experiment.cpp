@@ -84,13 +84,30 @@ class ResourceRecorder {
   std::uint64_t disk_used_ = 0;
 };
 
+/// Transcript verdict labels predate the TrialVerdict enum; keep the exact
+/// strings so existing transcript consumers see no change.
+std::string_view verdict_label(forensics::TrialVerdict verdict) noexcept {
+  switch (verdict) {
+    case forensics::TrialVerdict::kSurvived: return "survived";
+    case forensics::TrialVerdict::kStartFailure: return "failed to start";
+    case forensics::TrialVerdict::kRetryCapExceeded:
+      return "item failed past the retry cap";
+    case forensics::TrialVerdict::kBudgetExhausted:
+      return "recovery budget exhausted";
+    case forensics::TrialVerdict::kRecoveryFailed: return "recovery failed";
+    case forensics::TrialVerdict::kCount: break;
+  }
+  return "?";
+}
+
 }  // namespace
 
 TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        recovery::Mechanism& mechanism,
                        const TrialConfig& config,
                        TrialObservation* observation,
-                       telemetry::TrialTelemetry* telemetry) {
+                       telemetry::TrialTelemetry* telemetry,
+                       forensics::TrialForensics* forensics) {
   TrialOutcome outcome;
 
   // Patch the trial seed into cheap copies of the two config structs rather
@@ -102,6 +119,20 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
 
   env::Environment environment(env_config);
   if (observation != nullptr) environment.trace().enable();
+
+  // Bind the flight recorder before anything else happens so the ring sees
+  // the whole trial: arming, resource transitions, recoveries, verdict.
+  forensics::FlightRecorder* flight = nullptr;
+  if (forensics != nullptr) {
+    flight = &forensics->ring;
+    flight->bind_clock(&environment.clock());
+    environment.set_flight(flight);
+  }
+
+  const apps::Workload workload =
+      apps::make_workload(plan.seed.app, workload_spec);
+  FS_FORENSIC(flight, record(forensics::FlightCode::kTrialStart,
+                             workload.size(), config.cycles));
 
   // Bind telemetry before attach(): mechanisms cache the sink there.
   telemetry::SpanTracer* tracer = nullptr;
@@ -117,20 +148,49 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
 
   auto app = inject::make_app(plan.seed.app);
   app->arm_fault(plan.fault);
+  FS_FORENSIC(flight,
+              record(forensics::FlightCode::kFaultArmed,
+                     static_cast<std::uint64_t>(plan.seed.trigger),
+                     static_cast<std::uint64_t>(plan.seed.symptom)));
 
-  const auto finish = [&](std::string_view verdict) {
-    if (observation == nullptr) return;
-    observation->transcript.record(EventKind::kVerdict, environment.now(), 0,
-                                   std::string(verdict));
-    observation->trace = environment.trace().events();
+  const auto finish = [&](forensics::TrialVerdict verdict) {
+    FS_FORENSIC(flight, record(forensics::FlightCode::kVerdict,
+                               static_cast<std::uint64_t>(verdict)));
+    if (observation != nullptr) {
+      observation->transcript.record(EventKind::kVerdict, environment.now(), 0,
+                                     std::string(verdict_label(verdict)));
+      observation->trace = environment.trace().events();
+    }
+#if FAULTSTUDY_FORENSICS
+    if (forensics != nullptr &&
+        verdict != forensics::TrialVerdict::kSurvived) {
+      forensics::PostMortemInputs inputs;
+      inputs.fault_id = plan.seed.fault_id;
+      inputs.app = plan.seed.app;
+      inputs.fault_class = corpus::seed_class(plan.seed);
+      inputs.trigger = plan.seed.trigger;
+      inputs.mechanism = mechanism.name();
+      inputs.verdict = verdict;
+      inputs.failures = outcome.failures;
+      inputs.recoveries = outcome.recoveries;
+      inputs.first_failure = outcome.first_failure;
+      if (observation != nullptr) {
+        inputs.transcript = &observation->transcript;
+        inputs.trace = observation->trace;
+      }
+      forensics->postmortem =
+          forensics::build_postmortem(forensics->ring, environment, inputs);
+    }
+#endif
   };
 
   if (!app->start(environment)) {
     outcome.first_failure = "application failed to start";
-    finish("failed to start");
+    finish(forensics::TrialVerdict::kStartFailure);
     return outcome;
   }
   plan.arm_environment(environment, *app);
+  FS_FORENSIC(flight, record(forensics::FlightCode::kEnvArmed));
   mechanism.attach(*app, environment);
 
   // The resource baseline is taken after start + arming: the recorder sees
@@ -143,8 +203,6 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
                                    std::string(app->name()));
   }
 
-  const apps::Workload workload =
-      apps::make_workload(plan.seed.app, workload_spec);
   const std::size_t total_items = workload.size() * config.cycles;
 
   std::size_t i = 0;
@@ -180,13 +238,16 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
     ++outcome.failures;
     outcome.failure_observed = true;
     if (outcome.first_failure.empty()) outcome.first_failure = result.detail;
+    FS_FORENSIC(flight,
+                record(forensics::FlightCode::kItemFailed, i,
+                       static_cast<std::uint64_t>(result.status)));
 
     if (++consecutive > config.per_item_retries) {
-      finish("item failed past the retry cap");
+      finish(forensics::TrialVerdict::kRetryCapExceeded);
       return outcome;
     }
     if (outcome.recoveries >= config.recovery_budget) {
-      finish("recovery budget exhausted");
+      finish(forensics::TrialVerdict::kBudgetExhausted);
       return outcome;
     }
 
@@ -194,6 +255,7 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
       observation->transcript.record(EventKind::kRecoveryBegin,
                                      environment.now(), i);
     }
+    FS_FORENSIC(flight, record(forensics::FlightCode::kRecoveryBegin, i));
     const env::Tick recovery_start = environment.now();
     recovery::RecoveryAction action;
     {
@@ -220,14 +282,21 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
                                          : EventKind::kRecoveryFailed,
                                      environment.now(), i);
     }
+    if (rewind > 0) {
+      FS_FORENSIC(flight, record(forensics::FlightCode::kRollback, rewind));
+    }
     if (!action.recovered) {
       FS_TELEM(telemetry, counters.recovery.failures++);
+      FS_FORENSIC(flight,
+                  record(forensics::FlightCode::kRecoveryFailed, i));
       outcome.first_failure += " (recovery failed)";
-      finish("recovery failed");
+      finish(forensics::TrialVerdict::kRecoveryFailed);
       return outcome;
     }
     FS_TELEM(telemetry, counters.recovery.successes++);
     FS_TELEM(telemetry, counters.recovery.items_rewound += rewind);
+    FS_FORENSIC(flight,
+                record(forensics::FlightCode::kRecoveryOk, i, rewind));
     outcome.items_reexecuted += rewind;
     i -= rewind;
   }
@@ -237,7 +306,7 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
   if (recorder.has_value()) recorder->observe(i);
   app->stop(environment);
   outcome.survived = true;
-  finish("survived");
+  finish(forensics::TrialVerdict::kSurvived);
   return outcome;
 }
 
@@ -261,7 +330,8 @@ std::vector<NamedMechanism> standard_mechanisms() {
 MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                         const std::vector<NamedMechanism>& mechanisms,
                         const TrialConfig& config, int repeats,
-                        telemetry::StudyTelemetry* telemetry) {
+                        telemetry::StudyTelemetry* telemetry,
+                        forensics::StudyForensics* forensics) {
   MatrixResult result;
   result.fault_count = seeds.size();
   if (repeats < 1) repeats = 1;
@@ -288,6 +358,13 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
     /// repeats; the spans kept are the first repeat's). Heap-allocated so
     /// the untelemetered path pays one pointer per cell, nothing more.
     std::unique_ptr<telemetry::TrialTelemetry> telem;
+    /// Per-repeat forensic fold data, in repeat order: whether the trial
+    /// survived and (iff it did not) its post-mortem.
+    struct TrialFate {
+      bool survived = false;
+      std::optional<forensics::PostMortemRecord> postmortem;
+    };
+    std::vector<TrialFate> fates;
   };
   const std::size_t cell_count = mechanisms.size() * seeds.size();
   auto cells = parallel_map<CellVotes>(
@@ -304,8 +381,16 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
           telemetry::TrialTelemetry trial_telem;
           telemetry::TrialTelemetry* tt =
               telemetry != nullptr ? &trial_telem : nullptr;
+          forensics::TrialForensics trial_forensics;
+          forensics::TrialForensics* tf =
+              forensics != nullptr ? &trial_forensics : nullptr;
           const TrialOutcome outcome =
-              run_trial(plan, *mechanism, tc, nullptr, tt);
+              run_trial(plan, *mechanism, tc, nullptr, tt, tf);
+          if (tf != nullptr) {
+            if (tf->postmortem.has_value()) tf->postmortem->repeat = r;
+            votes.fates.push_back(
+                {outcome.survived, std::move(tf->postmortem)});
+          }
           if (tt != nullptr) {
             if (votes.telem == nullptr) {
               votes.telem = std::make_unique<telemetry::TrialTelemetry>(
@@ -326,6 +411,20 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
         }
         return votes;
       });
+
+  // Serial index-order fold of per-cell forensics: the post-mortem
+  // collection comes out in (mechanism, seed, repeat) order for every
+  // thread count.
+  if (forensics != nullptr) {
+    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        CellVotes& votes = cells[m * seeds.size() + s];
+        for (auto& fate : votes.fates) {
+          forensics->fold_trial(fate.survived, std::move(fate.postmortem));
+        }
+      }
+    }
+  }
 
   // Serial index-order fold of per-cell telemetry: study metrics and the
   // kept traces come out identical for every thread count.

@@ -19,6 +19,7 @@
 
 #include "core/aggregate.hpp"
 #include "env/trace.hpp"
+#include "forensics/postmortem.hpp"
 #include "harness/transcript.hpp"
 #include "inject/specimen.hpp"
 #include "recovery/mechanism.hpp"
@@ -73,11 +74,22 @@ struct TrialObservation {
 /// sim-domain spans (a "trial" root plus one "recovery/<mechanism>" span
 /// per recovery). Virtual time is simulation state, so the recorded
 /// telemetry is identical for every thread count.
+///
+/// With `forensics` set, the trial binds its flight-recorder ring as the
+/// environment's forensic sink: the harness protocol, environment resource
+/// transitions, application state changes, and recovery actions land in the
+/// ring as they happen. When the trial does NOT survive, the runner
+/// snapshots the ring plus the environment's resource state into
+/// `forensics->postmortem` and reconstructs the causal chain from injected
+/// fault to recovery outcome (forensics/postmortem.hpp); trials that ran
+/// traced also get detector verdicts folded into the chain's detection
+/// stage. Compiled out under -DFAULTSTUDY_FORENSICS=OFF.
 TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        recovery::Mechanism& mechanism,
                        const TrialConfig& config = {},
                        TrialObservation* observation = nullptr,
-                       telemetry::TrialTelemetry* telemetry = nullptr);
+                       telemetry::TrialTelemetry* telemetry = nullptr,
+                       forensics::TrialForensics* forensics = nullptr);
 
 /// Mechanism factory, so the matrix can instantiate a fresh mechanism per
 /// trial (mechanisms hold per-trial checkpoints).
@@ -134,10 +146,17 @@ struct MatrixResult {
 /// into `telemetry` in index order — so study-level metrics and the kept
 /// traces (the first repeat of each cell, labeled "mechanism/fault-id")
 /// are bit-identical for every thread count.
+/// With `forensics` set, every trial runs with a flight recorder attached
+/// and every failed trial's post-mortem (stamped with its repeat ordinal)
+/// lands in its cell's index slot; the serial reduction folds them into
+/// `forensics` in (mechanism, seed, repeat) order, so the post-mortem
+/// collection — and everything triage/export derives from it — is
+/// bit-identical for every thread count.
 MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                         const std::vector<NamedMechanism>& mechanisms,
                         const TrialConfig& config = {}, int repeats = 3,
-                        telemetry::StudyTelemetry* telemetry = nullptr);
+                        telemetry::StudyTelemetry* telemetry = nullptr,
+                        forensics::StudyForensics* forensics = nullptr);
 
 // --- detector-vs-taxonomy oracle cross-check ------------------------------
 //

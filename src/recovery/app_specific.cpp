@@ -23,6 +23,7 @@ void AppSpecific::attach(apps::SimApp& app, env::Environment& e) {
   (void)app;
   e.scheduler().set_replay_bias(ReplayBias::kAppSpecific);
   counters_ = e.counters();
+  flight_ = e.flight();
 }
 
 RecoveryAction AppSpecific::recover(apps::SimApp& app, env::Environment& e) {
@@ -48,6 +49,8 @@ void AppSpecific::prepare_retry(apps::WorkItem& item) {
       item.poison = false;
       item.op = std::string(apps::kRejectedOp);
       FS_TELEM(counters_, recovery.retries_sanitized++);
+      FS_FORENSIC(flight_,
+                  record(forensics::FlightCode::kRetrySanitized, item.id));
     }
     sanitize_next_ = false;
   }

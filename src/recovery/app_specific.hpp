@@ -10,6 +10,7 @@
 // operator. The recovery-matrix bench reports these separately.
 #pragma once
 
+#include "forensics/recorder.hpp"
 #include "recovery/mechanism.hpp"
 #include "telemetry/counters.hpp"
 
@@ -36,8 +37,9 @@ class AppSpecific final : public Mechanism {
  private:
   bool sanitize_next_ = false;
   // prepare_retry has no Environment parameter; attach caches the trial's
-  // sink so sanitized retries are still counted.
+  // sinks so sanitized retries are still counted and flight-recorded.
   telemetry::TrialCounters* counters_ = nullptr;
+  forensics::FlightRecorder* flight_ = nullptr;
 };
 
 /// True when the trigger's condition is reachable by application-level

@@ -17,6 +17,7 @@ RecoveryAction Rejuvenation::recover(apps::SimApp& app, env::Environment& e) {
   action.recovered = app.running();
   action.rewind_items = 0;
   FS_TELEM(e.counters(), recovery.rejuvenation_cycles++);
+  FS_FORENSIC(e.flight(), record(forensics::FlightCode::kRejuvenation));
   return action;
 }
 
@@ -38,6 +39,7 @@ void ScheduledRejuvenation::on_item_success(apps::SimApp& app,
   sweep_application(app, e);
   app.rejuvenate(e);
   FS_TELEM(e.counters(), recovery.proactive_rejuvenations++);
+  FS_FORENSIC(e.flight(), record(forensics::FlightCode::kRejuvenation, 1));
 }
 
 RecoveryAction ScheduledRejuvenation::recover(apps::SimApp& app,
@@ -51,6 +53,7 @@ RecoveryAction ScheduledRejuvenation::recover(apps::SimApp& app,
   RecoveryAction action;
   action.recovered = app.running();
   FS_TELEM(e.counters(), recovery.rejuvenation_cycles++);
+  FS_FORENSIC(e.flight(), record(forensics::FlightCode::kRejuvenation));
   return action;
 }
 

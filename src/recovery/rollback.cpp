@@ -17,6 +17,7 @@ void RollbackRetry::attach(apps::SimApp& app, env::Environment& e) {
   checkpoint_ = app.snapshot();
   since_checkpoint_ = 0;
   FS_TELEM(e.counters(), recovery.checkpoints++);
+  FS_FORENSIC(e.flight(), record(forensics::FlightCode::kCheckpoint));
 }
 
 void RollbackRetry::on_item_success(apps::SimApp& app, env::Environment& e) {
@@ -24,6 +25,7 @@ void RollbackRetry::on_item_success(apps::SimApp& app, env::Environment& e) {
     checkpoint_ = app.snapshot();
     since_checkpoint_ = 0;
     FS_TELEM(e.counters(), recovery.checkpoints++);
+    FS_FORENSIC(e.flight(), record(forensics::FlightCode::kCheckpoint));
   }
 }
 

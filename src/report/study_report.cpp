@@ -26,10 +26,13 @@ StudyResults run_full_study(const StudyReportOptions& options) {
     telemetry::StudyTelemetry study;
     telemetry::StudyTelemetry* telem =
         options.include_telemetry ? &study : nullptr;
+    forensics::StudyForensics* forens =
+        options.include_forensics ? &r.forensics : nullptr;
     r.matrix = harness::run_matrix(corpus::all_seeds(),
                                    harness::standard_mechanisms(), {},
-                                   options.matrix_repeats, telem);
+                                   options.matrix_repeats, telem, forens);
     if (telem != nullptr) r.telemetry = study.metrics.snapshot();
+    if (forens != nullptr) r.triage = forensics::triage(forens->postmortems);
   }
   return r;
 }
@@ -81,6 +84,36 @@ void render_telemetry(std::string& md,
       md += "| " + h.name + " | " + std::to_string(h.count) + " | " +
             std::to_string(h.sum) + " |\n";
     }
+  }
+}
+
+void render_forensics(std::string& md, const forensics::StudyForensics& study,
+                      const std::vector<forensics::TriageCluster>& clusters) {
+  if (study.trials == 0) return;
+  md += "\n## Failure forensics\n\n";
+  md += "Every failed matrix trial carries a flight-recorder post-mortem: "
+        "the causal chain from injected fault through environment "
+        "propagation to the recovery outcome. " +
+        std::to_string(study.failures()) + " of " +
+        std::to_string(study.trials) +
+        " trials produced post-mortems, clustering into " +
+        std::to_string(clusters.size()) + " failure signatures.\n\n";
+  if (clusters.empty()) return;
+  md += "| signature | post-mortems | failures | recoveries | specimens |\n";
+  md += "|---|---|---|---|---|\n";
+  constexpr std::size_t kRows = 20;
+  const std::size_t shown = std::min(clusters.size(), kRows);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& c = clusters[i];
+    md += "| `" + c.signature + "` | " + std::to_string(c.count) + " | " +
+          std::to_string(c.total_failures) + " | " +
+          std::to_string(c.total_recoveries) + " | " +
+          std::to_string(c.fault_ids.size()) + " |\n";
+  }
+  if (clusters.size() > shown) {
+    md += "\n… " + std::to_string(clusters.size() - shown) +
+          " smaller clusters omitted; the postmortem explorer "
+          "(examples/postmortem_cli) renders all of them.\n";
   }
 }
 
@@ -156,6 +189,7 @@ std::string render_markdown(const StudyResults& r,
           "transient class; surviving the rest requires application-"
           "specific knowledge — the paper's conclusion.\n";
   }
+  if (options.include_forensics) render_forensics(md, r.forensics, r.triage);
   if (options.include_telemetry) render_telemetry(md, r.telemetry);
   return md;
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/aggregate.hpp"
+#include "forensics/triage.hpp"
 #include "harness/experiment.hpp"
 #include "mining/pipeline.hpp"
 #include "telemetry/metrics.hpp"
@@ -25,6 +26,9 @@ struct StudyReportOptions {
   /// Run the matrix instrumented and render its folded telemetry snapshot
   /// (simulated-clock domain, so the section is deterministic).
   bool include_telemetry = true;
+  /// Run the matrix with flight recorders attached and render the failure-
+  /// forensics section (post-mortem counts and triage clusters).
+  bool include_forensics = true;
   /// Matrix repeats per (fault, mechanism) cell.
   int matrix_repeats = 3;
 };
@@ -39,6 +43,10 @@ struct StudyResults {
   /// Matrix telemetry folded across every trial (empty when either the
   /// matrix or the telemetry option is off).
   telemetry::MetricsSnapshot telemetry;
+  /// Post-mortems from every failed matrix trial and their triage clusters
+  /// (empty when either the matrix or the forensics option is off).
+  forensics::StudyForensics forensics;
+  std::vector<forensics::TriageCluster> triage;
 };
 
 /// Runs everything. Deterministic in the corpus/matrix seeds.

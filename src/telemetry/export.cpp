@@ -35,6 +35,9 @@ void append_json_string(std::string& out, std::string_view text) {
   out.push_back('"');
 }
 
+/// Maps an internal metric name ("env/proc/spawns") onto a valid Prometheus
+/// metric name: illegal characters become '_' and a leading digit gets a
+/// '_' prefix (names must match [a-zA-Z_:][a-zA-Z0-9_:]*).
 std::string sanitized(std::string_view name) {
   std::string out(name);
   for (char& c : out) {
@@ -42,7 +45,49 @@ std::string sanitized(std::string_view name) {
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     if (!ok) c = '_';
   }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
   return out;
+}
+
+/// Counter names carry the conventional `_total` suffix promtool lints for.
+std::string counter_name(std::string_view name) {
+  std::string out = sanitized(name);
+  if (!out.ends_with("_total")) out += "_total";
+  return out;
+}
+
+/// Escapes a value for a `label="..."` position or a HELP line: the
+/// exposition format reserves backslash, double-quote, and newline.
+std::string prom_escaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// `# HELP` then `# TYPE`, in that order; the HELP text names the internal
+/// metric the exposition name was derived from.
+void append_prom_header(std::string& out, const std::string& name,
+                        std::string_view source, std::string_view kind) {
+  out += "# HELP " + name + " faultstudy " + std::string(kind) + " '" +
+         prom_escaped(source) + "' (simulated-clock domain)\n";
+  out += "# TYPE " + name + " " + std::string(kind) + "\n";
 }
 
 }  // namespace
@@ -78,22 +123,23 @@ std::string to_chrome_trace(const std::vector<TraceThread>& threads) {
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const auto& c : snapshot.counters) {
-    const std::string name = sanitized(c.name);
-    out += "# TYPE " + name + " counter\n";
+    const std::string name = counter_name(c.name);
+    append_prom_header(out, name, c.name, "counter");
     out += name + " " + std::to_string(c.value) + "\n";
   }
   for (const auto& g : snapshot.gauges) {
     const std::string name = sanitized(g.name);
-    out += "# TYPE " + name + " gauge\n";
+    append_prom_header(out, name, g.name, "gauge");
     out += name + " " + std::to_string(g.value) + "\n";
   }
   for (const auto& h : snapshot.histograms) {
     const std::string name = sanitized(h.name);
-    out += "# TYPE " + name + " histogram\n";
+    append_prom_header(out, name, h.name, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.buckets[i];
-      out += name + "_bucket{le=\"" + std::to_string(h.bounds[i]) + "\"} " +
+      out += name + "_bucket{le=\"" +
+             prom_escaped(std::to_string(h.bounds[i])) + "\"} " +
              std::to_string(cumulative) + "\n";
     }
     out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";

@@ -23,8 +23,12 @@ struct TraceThread {
 /// are emitted as microseconds verbatim (1 tick renders as 1 us).
 std::string to_chrome_trace(const std::vector<TraceThread>& threads);
 
-/// Prometheus text exposition (metric names sanitized: '/', '-', '.' become
-/// '_'); histograms expand to cumulative _bucket{le=...}, _sum, _count.
+/// Prometheus text exposition, promtool-lint clean: metric names sanitized
+/// ('/', '-', '.' become '_', leading digits get a '_' prefix), counters
+/// carry the conventional `_total` suffix, every metric gets `# HELP` and
+/// `# TYPE` lines, label values are escaped, and histograms expand to
+/// cumulative `_bucket{le=...}` series ending in `le="+Inf"` plus `_sum`
+/// and `_count`.
 std::string to_prometheus(const MetricsSnapshot& snapshot);
 
 /// Machine-readable JSON: {"counters": {...}, "gauges": {...},

@@ -31,6 +31,26 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 void log(LogLevel level, std::string_view component, std::string_view message) {
   if (level < g_level.load()) return;
   // Pre-format the whole line and flush it with one write: lines from

@@ -9,6 +9,7 @@
 // it (util::current_lane()).
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 namespace faultstudy::util {
@@ -18,6 +19,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Sets the global threshold; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// The level's lowercase flag spelling ("debug", "info", ...).
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses a --log-level= flag value ("debug", "info", "warn", "error",
+/// "off", case-sensitive); nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept;
 
 void log(LogLevel level, std::string_view component, std::string_view message);
 

@@ -1,0 +1,324 @@
+// Tests for the fault-forensics layer: flight-recorder ring semantics,
+// causal-chain reconstruction on known specimens, triage clustering, and
+// the determinism contract — a forensic run over the full specimen corpus
+// must serialize byte-identically for threads=1 and threads=4.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/seeds.hpp"
+#include "forensics/export.hpp"
+#include "forensics/postmortem.hpp"
+#include "forensics/recorder.hpp"
+#include "forensics/triage.hpp"
+#include "harness/experiment.hpp"
+
+namespace faultstudy {
+namespace {
+
+using forensics::ChainStage;
+using forensics::FlightCode;
+using forensics::FlightRecorder;
+using forensics::TrialVerdict;
+
+const corpus::SeedFault& seed_by_id(const std::string& fault_id) {
+  static const auto seeds = corpus::all_seeds();
+  for (const auto& s : seeds) {
+    if (s.fault_id == fault_id) return s;
+  }
+  ADD_FAILURE() << "unknown fault id " << fault_id;
+  return seeds.front();
+}
+
+harness::MechanismFactory mechanism_by_name(const std::string& name) {
+  for (const auto& nm : harness::standard_mechanisms()) {
+    if (nm.name == name) return nm.make;
+  }
+  ADD_FAILURE() << "unknown mechanism " << name;
+  return {};
+}
+
+// --- ring buffer ----------------------------------------------------------
+
+TEST(FlightRecorder, OverwritesOldestWhenFull) {
+  FlightRecorder ring(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.record(FlightCode::kCheckpoint, i);
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+
+  const auto events = ring.chronological();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Events 0 and 1 were overwritten; 2..5 survive, oldest first.
+    EXPECT_EQ(events[i].a, i + 2);
+  }
+}
+
+TEST(FlightRecorder, StampsSimClockWhenBound) {
+  env::VirtualClock clock;
+  FlightRecorder ring;
+  ring.record(FlightCode::kTrialStart);  // unbound: stamps tick 0
+  ring.bind_clock(&clock);
+  clock.advance(42);
+  ring.record(FlightCode::kVerdict);
+  const auto events = ring.chronological();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, 0u);
+  EXPECT_EQ(events[1].at, 42u);
+}
+
+TEST(FlightRecorder, ClearResetsWithoutReallocating) {
+  FlightRecorder ring(8);
+  for (int i = 0; i < 20; ++i) ring.record(FlightCode::kCheckpoint);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+#if FAULTSTUDY_FORENSICS
+TEST(ForensicMacro, NullSinkIsANoOp) {
+  FlightRecorder ring;
+  FlightRecorder* sink = nullptr;
+  FS_FORENSIC(sink, record(FlightCode::kCheckpoint));
+  EXPECT_TRUE(ring.empty());
+  sink = &ring;
+  FS_FORENSIC(sink, record(FlightCode::kCheckpoint));
+  EXPECT_EQ(ring.size(), 1u);
+}
+#else
+TEST(ForensicMacro, CompilesOutEntirely) {
+  FlightRecorder ring;
+  FlightRecorder* sink = &ring;
+  FS_FORENSIC(sink, record(FlightCode::kCheckpoint));
+  EXPECT_TRUE(ring.empty());
+}
+#endif
+
+// --- causal-chain reconstruction ------------------------------------------
+
+TEST(PostMortem, SyntheticRingYieldsPropagationLink) {
+  env::Environment environment;
+  FlightRecorder ring;
+  ring.bind_clock(&environment.clock());
+  ring.record(FlightCode::kFaultArmed,
+              static_cast<std::uint64_t>(core::Trigger::kDiskCacheFull));
+  ring.record(FlightCode::kDiskFull, 4096, 1024);
+  ring.record(FlightCode::kItemFailed, 7, 3);
+  ring.record(FlightCode::kVerdict,
+              static_cast<std::uint64_t>(TrialVerdict::kRecoveryFailed));
+
+  forensics::PostMortemInputs inputs;
+  inputs.fault_id = "synthetic-edn-01";
+  inputs.mechanism = "cold-restart";
+  inputs.verdict = TrialVerdict::kRecoveryFailed;
+  inputs.failures = 1;
+  const auto pm = forensics::build_postmortem(ring, environment, inputs);
+
+  EXPECT_EQ(pm.propagation, FlightCode::kDiskFull);
+  ASSERT_FALSE(pm.chain.empty());
+  EXPECT_EQ(pm.chain.front().stage, ChainStage::kInjection);
+  EXPECT_EQ(pm.chain.back().stage, ChainStage::kOutcome);
+  bool saw_propagation = false;
+  for (const auto& link : pm.chain) {
+    if (link.stage == ChainStage::kPropagation) saw_propagation = true;
+  }
+  EXPECT_TRUE(saw_propagation);
+}
+
+TEST(PostMortem, DirectFailureHasNoResourcePrelude) {
+  env::Environment environment;
+  FlightRecorder ring;
+  ring.record(FlightCode::kFaultArmed);
+  ring.record(FlightCode::kItemFailed, 0, 2);
+  forensics::PostMortemInputs inputs;
+  inputs.fault_id = "synthetic-ei-01";
+  inputs.mechanism = "rollback-retry";
+  inputs.verdict = TrialVerdict::kRetryCapExceeded;
+  const auto pm = forensics::build_postmortem(ring, environment, inputs);
+  EXPECT_EQ(pm.propagation, FlightCode::kCount);
+}
+
+// Trial-runner integration only exists when the layer is compiled in; the
+// pure reconstruction and triage tests above run either way.
+#if FAULTSTUDY_FORENSICS
+TEST(PostMortem, KnownSpecimenReconstructsFullChain) {
+  // apache-ei-01 is environment-independent: cold-restart retries the same
+  // poisoned input until the per-item cap, deterministically failing.
+  const auto& seed = seed_by_id("apache-ei-01");
+  const auto plan = inject::plan_for(seed, 42);
+  auto mechanism = mechanism_by_name("cold-restart")();
+  forensics::TrialForensics forens;
+  const auto outcome =
+      harness::run_trial(plan, *mechanism, {}, nullptr, nullptr, &forens);
+
+  ASSERT_FALSE(outcome.survived);
+  ASSERT_TRUE(forens.postmortem.has_value());
+  const auto& pm = *forens.postmortem;
+  EXPECT_EQ(pm.fault_id, "apache-ei-01");
+  EXPECT_EQ(pm.mechanism, "cold-restart");
+  EXPECT_EQ(pm.verdict, TrialVerdict::kRetryCapExceeded);
+
+  // The chain links the injected fault id to the recovery outcome, with
+  // stages in causal order.
+  ASSERT_GE(pm.chain.size(), 2u);
+  EXPECT_EQ(pm.chain.front().stage, ChainStage::kInjection);
+  EXPECT_NE(pm.chain.front().description.find("apache-ei-01"),
+            std::string::npos);
+  EXPECT_EQ(pm.chain.back().stage, ChainStage::kOutcome);
+  for (std::size_t i = 1; i < pm.chain.size(); ++i) {
+    EXPECT_LE(pm.chain[i - 1].stage, pm.chain[i].stage);
+  }
+  EXPECT_FALSE(pm.events.empty());
+  EXPECT_FALSE(pm.first_failure.empty());
+}
+
+TEST(PostMortem, TracedSpecimenCarriesDetectorVerdicts) {
+  const auto& seed = seed_by_id("apache-ei-01");
+  const auto plan = inject::plan_for(seed, 42);
+  auto mechanism = mechanism_by_name("cold-restart")();
+  harness::TrialObservation observation;
+  forensics::TrialForensics forens;
+  const auto outcome = harness::run_trial(plan, *mechanism, {}, &observation,
+                                          nullptr, &forens);
+  ASSERT_FALSE(outcome.survived);
+  ASSERT_TRUE(forens.postmortem.has_value());
+  EXPECT_TRUE(forens.postmortem->analyzed);
+}
+
+TEST(PostMortem, SurvivorProducesNoPostMortem) {
+  // apache-edn-02's precondition is repaired by cold restart, so the trial
+  // survives — the ring still recorded, but no post-mortem is built.
+  const auto& seed = seed_by_id("apache-edn-02");
+  const auto plan = inject::plan_for(seed, 42);
+  auto mechanism = mechanism_by_name("cold-restart")();
+  forensics::TrialForensics forens;
+  const auto outcome =
+      harness::run_trial(plan, *mechanism, {}, nullptr, nullptr, &forens);
+  EXPECT_TRUE(outcome.survived);
+  EXPECT_FALSE(forens.postmortem.has_value());
+  EXPECT_FALSE(forens.ring.empty());
+}
+#endif  // FAULTSTUDY_FORENSICS
+
+TEST(StudyForensics, FoldCountsSurvivorsWithoutRecords) {
+  forensics::StudyForensics study;
+  study.fold_trial(true, std::nullopt);
+  study.fold_trial(true, std::nullopt);
+  EXPECT_EQ(study.trials, 2u);
+  EXPECT_EQ(study.survived, 2u);
+  EXPECT_EQ(study.failures(), 0u);
+
+  forensics::PostMortemRecord pm;
+  pm.fault_id = "x";
+  study.fold_trial(false, std::move(pm));
+  EXPECT_EQ(study.trials, 3u);
+  EXPECT_EQ(study.failures(), 1u);
+}
+
+// --- full-corpus determinism ----------------------------------------------
+
+#if FAULTSTUDY_FORENSICS
+struct MatrixRun {
+  harness::MatrixResult matrix;
+  forensics::StudyForensics study;
+};
+
+MatrixRun run_forensic_matrix(std::size_t threads) {
+  harness::TrialConfig config;
+  config.threads = threads;
+  MatrixRun run;
+  run.matrix =
+      harness::run_matrix(corpus::all_seeds(), harness::standard_mechanisms(),
+                          config, 3, nullptr, &run.study);
+  return run;
+}
+
+TEST(StudyForensics, FullCorpusPostMortemsAreLaneIdentical) {
+  const auto serial = run_forensic_matrix(1);
+  const auto wide = run_forensic_matrix(4);
+
+  // Every failed trial yields a post-mortem; every post-mortem's chain
+  // links injection to outcome.
+  EXPECT_EQ(serial.study.trials,
+            serial.study.survived + serial.study.failures());
+  EXPECT_GT(serial.study.failures(), 0u);
+  for (const auto& pm : serial.study.postmortems) {
+    ASSERT_FALSE(pm.chain.empty());
+    EXPECT_EQ(pm.chain.front().stage, ChainStage::kInjection);
+    EXPECT_EQ(pm.chain.back().stage, ChainStage::kOutcome);
+    EXPECT_NE(pm.verdict, TrialVerdict::kSurvived);
+  }
+
+  // Serialized artifacts are byte-identical across lane counts.
+  const auto clusters_serial = forensics::triage(serial.study.postmortems);
+  const auto clusters_wide = forensics::triage(wide.study.postmortems);
+  EXPECT_EQ(forensics::to_json(serial.study, clusters_serial),
+            forensics::to_json(wide.study, clusters_wide));
+
+  std::vector<forensics::MechanismSuccessRow> rows;
+  for (const auto& report : serial.matrix.reports) {
+    rows.push_back({report.mechanism, report.generic, report.survived_all(),
+                    report.total_all(), report.state_losses});
+  }
+  EXPECT_EQ(forensics::render_explorer_html(serial.study, clusters_serial,
+                                            rows, "t"),
+            forensics::render_explorer_html(wide.study, clusters_wide, rows,
+                                            "t"));
+}
+#endif  // FAULTSTUDY_FORENSICS
+
+// --- triage ---------------------------------------------------------------
+
+TEST(Triage, ClustersBySignatureDeterministically) {
+  forensics::PostMortemRecord a;
+  a.fault_id = "apache-x-01";
+  a.mechanism = "cold-restart";
+  a.verdict = TrialVerdict::kRetryCapExceeded;
+  a.failures = 3;
+  a.recoveries = 2;
+  forensics::PostMortemRecord b = a;
+  b.fault_id = "apache-x-02";
+  forensics::PostMortemRecord c = a;
+  c.mechanism = "process-pairs";
+
+  const auto clusters = forensics::triage({a, b, c});
+  ASSERT_EQ(clusters.size(), 2u);
+  // Bigger cluster first; ties broken by signature.
+  EXPECT_EQ(clusters[0].count, 2u);
+  EXPECT_EQ(clusters[0].mechanism, "cold-restart");
+  EXPECT_EQ(clusters[0].total_failures, 6u);
+  ASSERT_EQ(clusters[0].fault_ids.size(), 2u);
+  EXPECT_EQ(clusters[0].fault_ids[0], "apache-x-01");
+  EXPECT_EQ(clusters[1].count, 1u);
+
+  const auto sig = forensics::failure_signature(a);
+  EXPECT_NE(sig.find("cold-restart"), std::string::npos);
+  EXPECT_NE(sig.find("retry-cap-exceeded"), std::string::npos);
+}
+
+TEST(Export, JsonCarriesSchemaAndOmitsLanes) {
+  forensics::StudyForensics study;
+  forensics::PostMortemRecord pm;
+  pm.fault_id = "apache-x-01";
+  pm.mechanism = "cold-restart";
+  pm.verdict = TrialVerdict::kRecoveryFailed;
+  forensics::FlightEvent ev;
+  ev.code = FlightCode::kItemFailed;
+  ev.lane = 3;  // live diagnostic only: must not appear in the JSON
+  pm.events.push_back(ev);
+  study.fold_trial(false, std::move(pm));
+  const auto json = forensics::to_json(study, forensics::triage(study.postmortems));
+  EXPECT_NE(json.find("faultstudy-forensics/1"), std::string::npos);
+  EXPECT_EQ(json.find("lane"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faultstudy

@@ -5,8 +5,10 @@
 // byte-identical Chrome trace for threads=1 and threads=4.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -205,10 +207,63 @@ TEST(Exporters, PrometheusSanitizesNamesAndExpandsHistograms) {
   reg.observe(id, 1);
   reg.observe(id, 99);
   const auto text = telemetry::to_prometheus(reg.snapshot());
-  EXPECT_NE(text.find("env_proc_spawns 4"), std::string::npos);
+  // Counters get the conventional _total suffix plus HELP/TYPE headers.
+  EXPECT_NE(text.find("env_proc_spawns_total 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE env_proc_spawns_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP env_proc_spawns_total"), std::string::npos);
   EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1"), std::string::npos);
   EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2"), std::string::npos);
   EXPECT_NE(text.find("lat_count 2"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusOutputPassesLintRules) {
+  telemetry::MetricsRegistry reg;
+  reg.add(reg.counter("9starts/with-digit"), 1);
+  reg.add(reg.counter("already_total"), 2);
+  reg.peak(reg.gauge("peak.procs"), 7);
+  const auto snapid = reg.histogram("recovery/latency", {10, 100});
+  reg.observe(snapid, 5);
+  const auto text = telemetry::to_prometheus(reg.snapshot());
+
+  // Promtool-style lint: every line is a comment or `name{labels} value`
+  // with a legal metric name; HELP precedes TYPE for each metric.
+  std::istringstream lines(text);
+  std::string line;
+  std::string last_help_name;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.starts_with("# HELP ")) {
+      last_help_name = line.substr(7, line.find(' ', 7) - 7);
+      continue;
+    }
+    if (line.starts_with("# TYPE ")) {
+      // TYPE always follows the HELP line of the same metric.
+      EXPECT_EQ(line.substr(7, line.find(' ', 7) - 7), last_help_name);
+      continue;
+    }
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(0, name_end);
+    ASSERT_FALSE(name.empty());
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(name[0])) ||
+                name[0] == '_' || name[0] == ':')
+        << name;
+    for (const char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << name;
+    }
+  }
+  // Leading digits are prefixed, counters end in _total exactly once.
+  EXPECT_NE(text.find("_9starts_with_digit_total 1"), std::string::npos);
+  EXPECT_NE(text.find("already_total 2"), std::string::npos);
+  EXPECT_EQ(text.find("already_total_total"), std::string::npos);
+  // The gauge keeps its bare name; the histogram ends with +Inf == _count.
+  EXPECT_NE(text.find("peak_procs 7"), std::string::npos);
+  EXPECT_NE(text.find("recovery_latency_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("recovery_latency_count 1"), std::string::npos);
 }
 
 TEST(Exporters, JsonRoundsTripKeyValues) {
