@@ -1,0 +1,184 @@
+// bench_trajectory — merges every BENCH_*.json a bench run produced into
+// one schema-validated BENCH_trajectory.json, so CI archives a single
+// artifact per run and dashboards can difference whole runs.
+//
+//   bench_trajectory [dir] [out.json]
+//
+// Scans `dir` (default: the working directory) for BENCH_*.json files
+// written by the perf gates (bench_common.hpp's BenchJson), validates each
+// against the faultstudy-bench/1 schema — wrong schema, missing fields, or
+// malformed JSON fail the merge — and writes
+//
+//   {"schema":"faultstudy-bench-trajectory/1","benches":[
+//     {"bench":"coverage","rows":[{"name":...,"value":...,"unit":...}]},…]}
+//
+// with benches sorted by name, so the output is deterministic in the input
+// set regardless of directory enumeration order.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+constexpr std::string_view kRowSchema = "faultstudy-bench/1";
+constexpr std::string_view kOutSchema = "faultstudy-bench-trajectory/1";
+
+struct BenchRow {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct BenchFile {
+  std::string bench;
+  std::string path;
+  std::vector<BenchRow> rows;
+};
+
+/// Parses and schema-validates one BENCH_*.json; returns false (with a
+/// message on stderr) on any shape violation.
+bool load_bench(const std::string& path, BenchFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = util::json::parse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error().c_str());
+    return false;
+  }
+  const util::json::Value& doc = parsed.value();
+  if (!doc.is_object()) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+    return false;
+  }
+  if (doc.string_or("schema", "") != kRowSchema) {
+    std::fprintf(stderr, "%s: schema is not %s\n", path.c_str(),
+                 std::string(kRowSchema).c_str());
+    return false;
+  }
+  out.bench = doc.string_or("bench", "");
+  out.path = path;
+  if (out.bench.empty()) {
+    std::fprintf(stderr, "%s: missing bench name\n", path.c_str());
+    return false;
+  }
+  const util::json::Value* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    std::fprintf(stderr, "%s: missing rows array\n", path.c_str());
+    return false;
+  }
+  for (const util::json::Value& row : rows->array) {
+    if (!row.is_object()) {
+      std::fprintf(stderr, "%s: row is not an object\n", path.c_str());
+      return false;
+    }
+    BenchRow r;
+    r.name = row.string_or("name", "");
+    r.unit = row.string_or("unit", "");
+    const util::json::Value* value = row.find("value");
+    if (r.name.empty() || value == nullptr || !value->is_number()) {
+      std::fprintf(stderr, "%s: row needs a name and a numeric value\n",
+                   path.c_str());
+      return false;
+    }
+    r.value = value->number;
+    out.rows.push_back(std::move(r));
+  }
+  return true;
+}
+
+std::string render(const std::vector<BenchFile>& benches) {
+  std::string out = "{\"schema\":\"";
+  out += kOutSchema;
+  out += "\",\"benches\":[";
+  for (std::size_t b = 0; b < benches.size(); ++b) {
+    if (b > 0) out += ',';
+    out += "{\"bench\":\"" + util::json::escape(benches[b].bench) +
+           "\",\"rows\":[";
+    for (std::size_t i = 0; i < benches[b].rows.size(); ++i) {
+      const BenchRow& row = benches[b].rows[i];
+      if (i > 0) out += ',';
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.6g", row.value);
+      out += "{\"name\":\"" + util::json::escape(row.name) +
+             "\",\"value\":" + value + ",\"unit\":\"" +
+             util::json::escape(row.unit) + "\"}";
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 3) {
+    std::fprintf(stderr, "usage: bench_trajectory [dir] [out.json]\n");
+    return 2;
+  }
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  const std::string out_path =
+      argc > 2 ? argv[2] : (dir + "/BENCH_trajectory.json");
+
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("BENCH_") || !name.ends_with(".json")) continue;
+    if (name == "BENCH_trajectory.json") continue;  // never merge the output
+    paths.push_back(entry.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "%s: %s\n", dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "%s: no BENCH_*.json files\n", dir.c_str());
+    return 1;
+  }
+
+  std::vector<BenchFile> benches;
+  benches.reserve(paths.size());
+  for (const std::string& path : paths) {
+    BenchFile bench;
+    if (!load_bench(path, bench)) return 1;
+    benches.push_back(std::move(bench));
+  }
+  std::sort(benches.begin(), benches.end(),
+            [](const BenchFile& a, const BenchFile& b) {
+              return a.bench < b.bench;
+            });
+  for (std::size_t i = 1; i < benches.size(); ++i) {
+    if (benches[i].bench == benches[i - 1].bench) {
+      std::fprintf(stderr, "duplicate bench '%s' (%s and %s)\n",
+                   benches[i].bench.c_str(), benches[i - 1].path.c_str(),
+                   benches[i].path.c_str());
+      return 1;
+    }
+  }
+
+  const std::string payload = render(benches);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << payload;
+  std::printf("trajectory: merged %zu benches into %s (%zu bytes)\n",
+              benches.size(), out_path.c_str(), payload.size());
+  return 0;
+}

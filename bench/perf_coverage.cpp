@@ -1,0 +1,226 @@
+// Coverage-probe overhead benchmarks and gates (google-benchmark).
+//
+// Before benchmarking, main() runs two gates on the full recovery matrix:
+//
+//   identity   an atlas-attached run_matrix must produce identical atlases
+//              — and byte-identical atlas JSON and study snapshots — for
+//              1 and 4 lanes (the index-order fold contract);
+//   overhead   the atlas-attached matrix must cost at most 5% more wall
+//              time than the bare run (FAULTSTUDY_COVERAGE_GATE overrides
+//              the percentage; 0 skips the gate). The bare path is timed
+//              against itself as a noise floor for the detached-probe
+//              claim: with no sink bound only a null check remains, and a
+//              FAULTSTUDY_COVERAGE=0 build removes even that.
+//
+// Benchmark rows:
+//   BM_MatrixBare/T       recovery matrix, no coverage sink
+//   BM_MatrixCoverage/T   recovery matrix, atlas attached + folded
+//   BM_ProbeHit           one CoverageMap probe increment
+//   BM_MapMerge           one full CoverageMap merge
+//   BM_NullSinkBranch     the detached path: FS_COVER on a null sink
+//   BM_SnapshotRender     canonical JSON of a full study snapshot
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "corpus/seeds.hpp"
+#include "harness/experiment.hpp"
+#include "obs/baseline.hpp"
+#include "obs/export.hpp"
+#include "obs/probes.hpp"
+#include "telemetry/trial.hpp"
+
+using namespace faultstudy;
+
+namespace {
+
+void BM_MatrixBare(benchmark::State& state) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_matrix(seeds, mechanisms, config));
+  }
+}
+BENCHMARK(BM_MatrixBare)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixCoverage(benchmark::State& state) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    obs::CoverageAtlas atlas;
+    benchmark::DoNotOptimize(harness::run_matrix(seeds, mechanisms, config, 3,
+                                                 nullptr, nullptr, &atlas));
+    benchmark::DoNotOptimize(atlas.probes_hit());
+  }
+}
+BENCHMARK(BM_MatrixCoverage)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ProbeHit(benchmark::State& state) {
+  obs::CoverageMap map;
+  for (auto _ : state) {
+    map.hit(obs::Site::kEnvFdDenied);
+  }
+  benchmark::DoNotOptimize(map.count(obs::Site::kEnvFdDenied));
+}
+BENCHMARK(BM_ProbeHit);
+
+void BM_MapMerge(benchmark::State& state) {
+  obs::CoverageMap a;
+  obs::CoverageMap b;
+  for (std::size_t i = 0; i < obs::kNumSites; ++i) {
+    b.sites[i] = i + 1;
+  }
+  for (auto _ : state) {
+    a.merge(b);
+  }
+  benchmark::DoNotOptimize(a.probes_hit());
+}
+BENCHMARK(BM_MapMerge);
+
+void BM_NullSinkBranch(benchmark::State& state) {
+  obs::CoverageMap* sink = nullptr;
+  benchmark::DoNotOptimize(sink);
+  for (auto _ : state) {
+    FS_COVER(sink, hit(obs::Site::kEnvFdDenied));
+  }
+}
+BENCHMARK(BM_NullSinkBranch);
+
+void BM_SnapshotRender(benchmark::State& state) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = 4;
+  obs::CoverageAtlas atlas;
+  const auto matrix = harness::run_matrix(seeds, mechanisms, config, 3,
+                                          nullptr, nullptr, &atlas);
+  const auto snapshot =
+      obs::build_snapshot(seeds, matrix, atlas, {}, config.seed, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::to_json(snapshot));
+  }
+}
+BENCHMARK(BM_SnapshotRender)->Unit(benchmark::kMicrosecond);
+
+struct MatrixTimes {
+  double bare = 0.0;
+  double covered = 0.0;
+  double bare_again = 0.0;
+};
+
+/// Best-of-rounds wall time for the bare and atlas-attached matrix,
+/// interleaved bare/covered/bare-again within every round (the repeated
+/// bare run is the noise floor). Interleaving matters more
+/// than the statistic: machine load drifts over the seconds a gate run
+/// takes, so back-to-back pairs see the same conditions where sequential
+/// blocks would attribute the drift to the variant that ran later. The
+/// minimum is then the noise-robust pick — interference only adds time.
+MatrixTimes best_matrix_millis(int rounds) {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  harness::TrialConfig config;
+  config.threads = 1;  // the serial path isolates per-trial overhead
+  const auto one = [&](bool covered) {
+    obs::CoverageAtlas atlas;
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        harness::run_matrix(seeds, mechanisms, config, 3, nullptr, nullptr,
+                            covered ? &atlas : nullptr));
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+  };
+  MatrixTimes best;
+  for (int r = 0; r < rounds; ++r) {
+    const double bare = one(false);
+    const double covered = one(true);
+    const double bare_again = one(false);
+    if (r == 0 || bare < best.bare) best.bare = bare;
+    if (r == 0 || covered < best.covered) best.covered = covered;
+    if (r == 0 || bare_again < best.bare_again) best.bare_again = bare_again;
+  }
+  return best;
+}
+
+/// Full-corpus determinism gate: the atlas, its canonical JSON, and the
+/// study snapshot built from it must be identical for 1 and 4 lanes.
+bool coverage_identity_ok() {
+  const auto seeds = corpus::all_seeds();
+  const auto mechanisms = harness::standard_mechanisms();
+  const auto run = [&](std::size_t threads, obs::CoverageAtlas& atlas) {
+    harness::TrialConfig config;
+    config.threads = threads;
+    return harness::run_matrix(seeds, mechanisms, config, 3, nullptr, nullptr,
+                               &atlas);
+  };
+  obs::CoverageAtlas serial_atlas, wide_atlas;
+  const auto serial = run(1, serial_atlas);
+  const auto wide = run(4, wide_atlas);
+  if (!(serial_atlas == wide_atlas)) return false;
+  if (obs::to_json(serial_atlas) != obs::to_json(wide_atlas)) return false;
+  const auto serial_snap =
+      obs::build_snapshot(seeds, serial, serial_atlas, {}, 99, 3);
+  const auto wide_snap =
+      obs::build_snapshot(seeds, wide, wide_atlas, {}, 99, 3);
+  return obs::to_json(serial_snap) == obs::to_json(wide_snap);
+}
+
+double gate_percent() {
+  if (const char* env = std::getenv("FAULTSTUDY_COVERAGE_GATE")) {
+    return std::strtod(env, nullptr);
+  }
+  return 5.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!coverage_identity_ok()) {
+    std::fprintf(stderr,
+                 "FATAL: coverage atlas differs between 1 and 4 lanes\n");
+    return 1;
+  }
+  std::printf("coverage identity check: OK (atlas + JSON + snapshot, 1 vs 4 "
+              "lanes)\n");
+
+  const double gate = gate_percent();
+  if (gate > 0.0) {
+    constexpr int kRounds = 5;
+    // Warm-up evens out first-touch allocation between the variants.
+    (void)best_matrix_millis(1);
+    const MatrixTimes best = best_matrix_millis(kRounds);
+    const double bare = best.bare;
+    const double covered = best.covered;
+    const double overhead = (covered - bare) / bare * 100.0;
+    const double noise = (best.bare_again - bare) / bare * 100.0;
+    std::printf("coverage overhead gate: bare %.1f ms, atlas-attached %.1f ms "
+                "-> %+.2f%% (noise floor %+.2f%%, gate %.1f%%)\n",
+                bare, covered, overhead, noise, gate);
+    if (overhead > gate) {
+      std::fprintf(stderr, "FATAL: coverage overhead %+.2f%% exceeds %.1f%%\n",
+                   overhead, gate);
+      return 1;
+    }
+    bench::BenchJson json("coverage");
+    json.add("matrix_bare_best", bare, "ms");
+    json.add("matrix_coverage_best", covered, "ms");
+    json.add("overhead", overhead, "percent");
+    json.add("noise_floor", noise, "percent");
+    json.add("gate", gate, "percent");
+    if (!json.write()) return 1;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

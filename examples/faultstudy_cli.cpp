@@ -22,6 +22,17 @@
 //                        Perfetto). matrix/simulate traces use simulated
 //                        ticks and are byte-identical for any --threads;
 //                        mine traces are wall-clock self-profiles.
+//
+// Coverage (compiled in by default, see FAULTSTUDY_COVERAGE):
+//   --coverage=<path>    matrix/simulate coverage atlas; `.json` selects
+//                        the atlas JSON, `.html` the heatmap, anything
+//                        else the text summary. Byte-identical for any
+//                        --threads.
+//   --baseline=<path>    matrix only: diff the run against a committed
+//                        study snapshot (study_diff writes one) and exit 4
+//                        on fatal drift.
+//
+// Unknown `--` options are rejected with a usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +48,8 @@
 #include "harness/experiment.hpp"
 #include "core/rules.hpp"
 #include "mining/pipeline.hpp"
+#include "obs/baseline.hpp"
+#include "obs/export.hpp"
 #include "report/study_report.hpp"
 #include "report/table.hpp"
 #include "telemetry/export.hpp"
@@ -55,9 +68,15 @@ std::size_t g_threads = 0;
 long long g_seed = -1;
 std::string g_telemetry_path;
 std::string g_trace_path;
+std::string g_coverage_path;
+std::string g_baseline_path;
 
 bool telemetry_wanted() {
   return !g_telemetry_path.empty() || !g_trace_path.empty();
+}
+
+bool coverage_wanted() {
+  return !g_coverage_path.empty() || !g_baseline_path.empty();
 }
 
 int usage() {
@@ -77,6 +96,10 @@ int usage() {
       "  --telemetry=PATH   write a metrics snapshot (.json = JSON, else "
       "Prometheus text)\n"
       "  --trace=PATH       write a Chrome trace_event timeline\n"
+      "  --coverage=PATH    matrix/simulate: write the coverage atlas "
+      "(.json = JSON, .html = heatmap, else text)\n"
+      "  --baseline=PATH    matrix: diff against a study snapshot, exit 4 "
+      "on fatal drift\n"
       "  --log-level=LEVEL  diagnostic verbosity: debug|info|warn|error|off "
       "(default warn)\n",
       stderr);
@@ -110,6 +133,20 @@ int export_telemetry(const telemetry::MetricsSnapshot& snapshot,
     std::printf("trace     : wrote %s (%zu bytes)\n", g_trace_path.c_str(),
                 payload.size());
   }
+  return 0;
+}
+
+/// Writes the --coverage atlas export; the extension picks the serializer
+/// (.json = atlas JSON, .html = heatmap, anything else the text summary).
+int export_coverage(const obs::CoverageAtlas& atlas) {
+  if (g_coverage_path.empty()) return 0;
+  const std::string payload =
+      g_coverage_path.ends_with(".json")   ? obs::to_json(atlas)
+      : g_coverage_path.ends_with(".html") ? obs::render_heatmap_html(atlas)
+                                           : obs::render_text(atlas);
+  if (!write_file(g_coverage_path, payload)) return 1;
+  std::printf("coverage  : wrote %s (%zu bytes)\n", g_coverage_path.c_str(),
+              payload.size());
   return 0;
 }
 
@@ -291,10 +328,13 @@ int cmd_simulate(const std::string& fault_id, const std::string& mechanism) {
   if (g_seed >= 0) config.seed = static_cast<std::uint64_t>(g_seed);
   telemetry::TrialTelemetry telem;
   telemetry::TrialTelemetry* tp = telemetry_wanted() ? &telem : nullptr;
+  obs::CoverageMap cover;
+  obs::CoverageMap* cp = !g_coverage_path.empty() ? &cover : nullptr;
   const auto plan = inject::plan_for(
       *seed, g_seed >= 0 ? static_cast<std::uint64_t>(g_seed) : 42);
   auto mech = factory();
-  const auto outcome = harness::run_trial(plan, *mech, config, nullptr, tp);
+  const auto outcome =
+      harness::run_trial(plan, *mech, config, nullptr, tp, nullptr, cp);
   std::printf("simulate  : seed=%llu threads=1\n",
               static_cast<unsigned long long>(config.seed));
   std::printf("fault     : %s (%s, %s)\n", seed->fault_id.c_str(),
@@ -316,10 +356,17 @@ int cmd_simulate(const std::string& fault_id, const std::string& mechanism) {
       return 1;
     }
   }
+  if (cp != nullptr) {
+    obs::CoverageAtlas atlas;
+    atlas.begin_study({*seed}, {mechanism});
+    atlas.fold_trial(*seed, cover);
+    if (export_coverage(atlas) != 0) return 1;
+  }
   return outcome.survived ? 0 : 3;
 }
 
 int cmd_matrix() {
+  constexpr int kRepeats = 3;
   harness::TrialConfig config;
   config.threads = g_threads;
   if (g_seed >= 0) config.seed = static_cast<std::uint64_t>(g_seed);
@@ -327,10 +374,16 @@ int cmd_matrix() {
               static_cast<unsigned long long>(config.seed),
               util::resolve_threads(g_threads));
   telemetry::StudyTelemetry study;
-  telemetry::StudyTelemetry* tp = telemetry_wanted() ? &study : nullptr;
-  const auto matrix = harness::run_matrix(corpus::all_seeds(),
-                                          harness::standard_mechanisms(),
-                                          config, 3, tp);
+  // A --baseline run is always instrumented: the snapshot's counters
+  // section comes from the telemetry fold.
+  telemetry::StudyTelemetry* tp =
+      telemetry_wanted() || !g_baseline_path.empty() ? &study : nullptr;
+  obs::CoverageAtlas atlas;
+  obs::CoverageAtlas* ap = coverage_wanted() ? &atlas : nullptr;
+  const auto seeds = corpus::all_seeds();
+  const auto matrix =
+      harness::run_matrix(seeds, harness::standard_mechanisms(), config,
+                          kRepeats, tp, nullptr, ap);
   report::AsciiTable t({"mechanism", "EI", "EDN", "EDT", "overall"});
   for (const auto& r : matrix.reports) {
     const auto cell = [&](core::FaultClass c) {
@@ -344,15 +397,40 @@ int cmd_matrix() {
                              static_cast<double>(r.total_all()))});
   }
   std::fputs(t.to_string().c_str(), stdout);
-  if (tp != nullptr) {
+  // Publish atlas gauges before any snapshot is taken, so both the
+  // telemetry export and the baseline diff see coverage.
+  if (ap != nullptr && tp != nullptr) obs::export_gauges(atlas, study.metrics);
+  if (export_coverage(atlas) != 0) return 1;
+  int rc = 0;
+  if (!g_baseline_path.empty()) {
+    std::ifstream in(g_baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", g_baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto baseline = obs::parse_snapshot(buf.str());
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "%s: %s\n", g_baseline_path.c_str(),
+                   baseline.error().c_str());
+      return 1;
+    }
+    const auto candidate = obs::build_snapshot(
+        seeds, matrix, atlas, study.metrics.snapshot(), config.seed, kRepeats);
+    const auto drift = obs::diff(baseline.value(), candidate);
+    std::fputs(obs::render_text(drift).c_str(), stdout);
+    if (drift.regressed()) rc = 4;
+  }
+  if (tp != nullptr && telemetry_wanted()) {
     std::vector<telemetry::TraceThread> threads;
     threads.reserve(study.traces.size());
     for (const auto& [label, tracer] : study.traces) {
       threads.push_back({label, &tracer});
     }
-    return export_telemetry(study.metrics.snapshot(), threads);
+    if (export_telemetry(study.metrics.snapshot(), threads) != 0) return 1;
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace
@@ -387,12 +465,26 @@ int main(int argc, char** argv) {
       if (g_trace_path.empty()) return usage();
       continue;
     }
+    if (arg.starts_with("--coverage=")) {
+      g_coverage_path = arg.substr(std::strlen("--coverage="));
+      if (g_coverage_path.empty()) return usage();
+      continue;
+    }
+    if (arg.starts_with("--baseline=")) {
+      g_baseline_path = arg.substr(std::strlen("--baseline="));
+      if (g_baseline_path.empty()) return usage();
+      continue;
+    }
     if (arg.starts_with("--log-level=")) {
       const auto level =
           util::parse_log_level(arg.substr(std::strlen("--log-level=")));
       if (!level.has_value()) return usage();
       util::set_log_level(*level);
       continue;
+    }
+    if (arg.starts_with("--")) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
     }
     args.push_back(arg);
   }

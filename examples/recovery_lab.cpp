@@ -6,23 +6,30 @@
 //
 //   ./build/examples/recovery_lab [fault-id] [mechanism]
 //       [--repeats R] [--threads N] [--telemetry=PATH] [--trace=PATH]
-//       [--log-level=LEVEL]
+//       [--coverage=PATH] [--baseline=PATH] [--log-level=LEVEL]
 //   e.g. ./build/examples/recovery_lab apache-edt-02 process-pairs
 //        ./build/examples/recovery_lab apache-edn-02 cold-restart --threads 4
 //
 // --telemetry writes the narrated trial's metrics (.json = JSON, else
 // Prometheus text); --trace writes its sim-tick span timeline as Chrome
-// trace_event JSON.
+// trace_event JSON. --coverage writes the narrated trial's coverage atlas
+// (.json = atlas JSON, .html = heatmap, else text); --baseline reads a
+// committed study snapshot (study_diff writes one) and prints what it
+// recorded for this specimen next to the trial's own coverage. Unknown
+// `--` options are a usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "corpus/seeds.hpp"
 #include "harness/experiment.hpp"
 #include "harness/parallel.hpp"
 #include "harness/transcript.hpp"
+#include "obs/baseline.hpp"
+#include "obs/export.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/trial.hpp"
 #include "util/logging.hpp"
@@ -50,6 +57,8 @@ int main(int argc, char** argv) {
   std::size_t repeats = 16;
   std::string telemetry_path;
   std::string trace_path;
+  std::string coverage_path;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" || arg == "--repeats") {
@@ -69,6 +78,14 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(std::strlen("--trace="));
       continue;
     }
+    if (arg.starts_with("--coverage=")) {
+      coverage_path = arg.substr(std::strlen("--coverage="));
+      continue;
+    }
+    if (arg.starts_with("--baseline=")) {
+      baseline_path = arg.substr(std::strlen("--baseline="));
+      continue;
+    }
     if (arg.starts_with("--log-level=")) {
       const auto level =
           util::parse_log_level(arg.substr(std::strlen("--log-level=")));
@@ -79,6 +96,15 @@ int main(int argc, char** argv) {
       }
       util::set_log_level(*level);
       continue;
+    }
+    if (arg.starts_with("--")) {
+      std::fprintf(stderr,
+                   "unknown option %s\nusage: recovery_lab [fault-id] "
+                   "[mechanism] [--repeats R] [--threads N] "
+                   "[--telemetry=PATH] [--trace=PATH] [--coverage=PATH] "
+                   "[--baseline=PATH] [--log-level=LEVEL]\n",
+                   arg.c_str());
+      return 1;
     }
     args.push_back(arg);
   }
@@ -121,7 +147,9 @@ int main(int argc, char** argv) {
 
   // Run the trial manually so we can narrate it.
   const bool want_telemetry = !telemetry_path.empty() || !trace_path.empty();
+  const bool want_coverage = !coverage_path.empty() || !baseline_path.empty();
   telemetry::TrialTelemetry telem;
+  obs::CoverageMap cover;
   const auto plan = inject::plan_for(*seed, 42);
   env::Environment environment(plan.env_config);
   telemetry::SpanTracer* tracer = nullptr;
@@ -130,6 +158,7 @@ int main(int argc, char** argv) {
     telem.spans.bind_sim(&environment.clock());
     tracer = &telem.spans;
   }
+  if (want_coverage) environment.set_coverage(&cover);
   // Opened/closed by hand: the scope must end before the export below, not
   // at the end of main.
   std::size_t trial_span = 0;
@@ -220,6 +249,50 @@ int main(int argc, char** argv) {
           {{fault_id + "/" + mechanism_name, &telem.spans}});
       if (!write_file(trace_path, payload)) return 1;
       std::printf("trace: wrote %s\n", trace_path.c_str());
+    }
+  }
+
+  if (want_coverage) {
+    obs::CoverageAtlas atlas;
+    atlas.begin_study({*seed}, {mechanism_name});
+    atlas.fold_trial(*seed, cover);
+    std::printf("\ncoverage : %zu/%zu probes hit in the narrated trial\n",
+                atlas.probes_hit(), obs::CoverageAtlas::probe_universe());
+    if (!coverage_path.empty()) {
+      const std::string payload =
+          coverage_path.ends_with(".json")   ? obs::to_json(atlas)
+          : coverage_path.ends_with(".html") ? obs::render_heatmap_html(atlas)
+                                             : obs::render_text(atlas);
+      if (!write_file(coverage_path, payload)) return 1;
+      std::printf("coverage : wrote %s\n", coverage_path.c_str());
+    }
+    if (!baseline_path.empty()) {
+      std::ifstream in(baseline_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", baseline_path.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const auto snapshot = obs::parse_snapshot(buf.str());
+      if (!snapshot.ok()) {
+        std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(),
+                     snapshot.error().c_str());
+        return 1;
+      }
+      bool found = false;
+      for (const auto& row : snapshot.value().specimens) {
+        if (row.fault_id != fault_id) continue;
+        found = true;
+        std::printf("baseline : study recorded %llu probes hit over %llu "
+                    "trials for this specimen\n",
+                    static_cast<unsigned long long>(row.probes_hit),
+                    static_cast<unsigned long long>(row.trials));
+      }
+      if (!found) {
+        std::printf("baseline : %s has no record of %s\n",
+                    baseline_path.c_str(), fault_id.c_str());
+      }
     }
   }
 

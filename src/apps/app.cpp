@@ -37,6 +37,7 @@ bool BaseApp::base_start(env::Environment& e) {
   running_ = true;
   FS_FORENSIC(e.flight(),
               record(forensics::FlightCode::kAppStarted, workers_.size()));
+  FS_COVER(e.coverage(), hit(obs::Site::kAppStarted));
   return true;
 }
 
@@ -48,6 +49,7 @@ void BaseApp::base_stop(env::Environment& e) {
   state_.fd_footprint = 0;
   if (running_) {
     FS_FORENSIC(e.flight(), record(forensics::FlightCode::kAppStopped));
+    FS_COVER(e.coverage(), hit(obs::Site::kAppStopped));
   }
   running_ = false;
 }
@@ -75,6 +77,7 @@ bool BaseApp::base_restore(const BaseState& state, env::Environment& e) {
     workers_.push_back(*pid);
   }
   running_ = true;
+  FS_COVER(e.coverage(), hit(obs::Site::kAppRestored));
   return true;
 }
 
@@ -304,6 +307,7 @@ std::optional<StepResult> BaseApp::check_fault(const WorkItem& item,
       if (!pid.has_value()) return fail("process table full");
       FS_FORENSIC(e.flight(),
                   record(forensics::FlightCode::kAppChildSpawned, *pid));
+      FS_COVER(e.coverage(), hit(obs::Site::kAppChildSpawned));
       e.processes().mark_hung(*pid);
       return std::nullopt;
     }

@@ -128,6 +128,7 @@ StepResult Database::handle(const WorkItem& item, env::Environment& e) {
   ++queries_;
   ++state_.items_handled;
   FS_TELEM(e.counters(), app.queries_ok++);
+  FS_COVER(e.coverage(), hit(obs::Site::kAppDbQuery));
   return {};
 }
 

@@ -119,6 +119,7 @@ StepResult Desktop::handle(const WorkItem& item, env::Environment& e) {
   ++events_;
   ++state_.items_handled;
   FS_TELEM(e.counters(), app.ui_events++);
+  FS_COVER(e.coverage(), hit(obs::Site::kAppUiEvent));
   return {};
 }
 

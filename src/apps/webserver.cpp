@@ -97,6 +97,7 @@ StepResult WebServer::handle(const WorkItem& item, env::Environment& e) {
                   record(forensics::FlightCode::kAppChildSpawned, *pid));
       e.processes().kill(*pid);
       FS_TELEM(e.counters(), app.cgi_children++);
+      FS_COVER(e.coverage(), hit(obs::Site::kAppChildSpawned));
     }
   }
 
@@ -107,6 +108,7 @@ StepResult WebServer::handle(const WorkItem& item, env::Environment& e) {
                     item.write_bytes);
     ++cache_fills_;
     FS_TELEM(e.counters(), app.cache_fills++);
+    FS_COVER(e.coverage(), hit(obs::Site::kAppWebCacheFill));
   }
 
   // HostnameLookups-style DNS (result ignored by the fixed server).
@@ -118,6 +120,7 @@ StepResult WebServer::handle(const WorkItem& item, env::Environment& e) {
   ++served_;
   ++state_.items_handled;
   FS_TELEM(e.counters(), app.requests_served++);
+  FS_COVER(e.coverage(), hit(obs::Site::kAppWebRequest));
   return {};
 }
 

@@ -7,6 +7,7 @@ Disk::WriteResult Disk::append(const std::string& path, std::uint64_t bytes) {
     FS_TELEM(counters_, disk_write_failures++);
     FS_FORENSIC(flight_,
                 record(forensics::FlightCode::kDiskFull, bytes, used_));
+    FS_COVER(coverage_, hit(obs::Site::kEnvDiskNoSpace));
     return WriteResult::kNoSpace;
   }
   auto& info = files_[path];
@@ -14,6 +15,7 @@ Disk::WriteResult Disk::append(const std::string& path, std::uint64_t bytes) {
     FS_TELEM(counters_, disk_write_failures++);
     FS_FORENSIC(flight_, record(forensics::FlightCode::kFileSizeLimit, bytes,
                                 max_file_size_));
+    FS_COVER(coverage_, hit(obs::Site::kEnvDiskFileTooBig));
     return WriteResult::kFileTooBig;
   }
   info.size += bytes;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "forensics/recorder.hpp"
+#include "obs/probes.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -76,6 +77,11 @@ class Disk {
     flight_ = flight;
   }
 
+  /// Per-trial coverage map; nullptr (the default) records nothing.
+  void set_coverage(obs::CoverageMap* coverage) noexcept {
+    coverage_ = coverage;
+  }
+
  private:
   std::uint64_t capacity_;
   std::uint64_t max_file_size_;
@@ -83,6 +89,7 @@ class Disk {
   std::unordered_map<std::string, FileInfo> files_;
   telemetry::ResourceCounters* counters_ = nullptr;
   forensics::FlightRecorder* flight_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace faultstudy::env

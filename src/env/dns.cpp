@@ -13,6 +13,7 @@ void DnsServer::break_until(DnsHealth state, Tick until) noexcept {
     FS_FORENSIC(flight_,
                 record(forensics::FlightCode::kDnsBroken,
                        static_cast<std::uint64_t>(state), until));
+    FS_COVER(coverage_, hit(obs::Site::kEnvDnsBroken));
   }
 }
 
@@ -22,9 +23,11 @@ DnsReply DnsServer::resolve(const std::string& host, Tick now) const {
   switch (health(now)) {
     case DnsHealth::kErroring:
       FS_TELEM(counters_, dns_errors++);
+      FS_COVER(coverage_, hit(obs::Site::kEnvDnsError));
       return {.ok = false, .latency = kNormalLatency};
     case DnsHealth::kSlow:
       FS_TELEM(counters_, dns_slow_replies++);
+      FS_COVER(coverage_, hit(obs::Site::kEnvDnsSlow));
       return {.ok = true, .latency = kSlowLatency};
     case DnsHealth::kHealthy:
       break;
@@ -35,6 +38,7 @@ DnsReply DnsServer::resolve(const std::string& host, Tick now) const {
 DnsReply DnsServer::reverse(const std::string& address, Tick now) const {
   if (!reverse_records_.contains(address)) {
     FS_TELEM(counters_, dns_reverse_misses++);
+    FS_COVER(coverage_, hit(obs::Site::kEnvDnsReverseMiss));
     return {.ok = false, .latency = kNormalLatency};
   }
   return resolve(address, now);

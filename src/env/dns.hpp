@@ -12,6 +12,7 @@
 
 #include "env/clock.hpp"
 #include "forensics/recorder.hpp"
+#include "obs/probes.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -55,6 +56,11 @@ class DnsServer {
     flight_ = flight;
   }
 
+  /// Per-trial coverage map; nullptr (the default) records nothing.
+  void set_coverage(obs::CoverageMap* coverage) noexcept {
+    coverage_ = coverage;
+  }
+
  private:
   DnsHealth forced_ = DnsHealth::kHealthy;
   Tick forced_until_ = 0;
@@ -62,6 +68,7 @@ class DnsServer {
   // Lookups are logically const; the sink they record into is not.
   telemetry::ResourceCounters* counters_ = nullptr;
   forensics::FlightRecorder* flight_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -24,6 +24,7 @@ bool EntropyPool::take(std::uint64_t want, Tick now) noexcept {
     FS_TELEM(counters_, entropy_blocked++);
     FS_FORENSIC(flight_,
                 record(forensics::FlightCode::kEntropyBlocked, want, bits_));
+    FS_COVER(coverage_, hit(obs::Site::kEnvEntropyBlocked));
     return false;
   }
   bits_ -= want;

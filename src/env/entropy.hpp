@@ -10,6 +10,7 @@
 
 #include "env/clock.hpp"
 #include "forensics/recorder.hpp"
+#include "obs/probes.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -40,6 +41,11 @@ class EntropyPool {
     flight_ = flight;
   }
 
+  /// Per-trial coverage map; nullptr (the default) records nothing.
+  void set_coverage(obs::CoverageMap* coverage) noexcept {
+    coverage_ = coverage;
+  }
+
  private:
   void settle(Tick now) const noexcept;
 
@@ -48,6 +54,7 @@ class EntropyPool {
   mutable Tick last_ = 0;
   telemetry::ResourceCounters* counters_ = nullptr;
   forensics::FlightRecorder* flight_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
   static constexpr std::uint64_t kPoolMax = 4096;
 };
 

@@ -34,4 +34,16 @@ void Environment::set_flight(forensics::FlightRecorder* flight) noexcept {
   signals_.set_flight(flight);
 }
 
+void Environment::set_coverage(obs::CoverageMap* coverage) noexcept {
+  coverage_ = coverage;
+  processes_.set_coverage(coverage);
+  fds_.set_coverage(coverage);
+  disk_.set_coverage(coverage);
+  dns_.set_coverage(coverage);
+  network_.set_coverage(coverage);
+  scheduler_.set_coverage(coverage);
+  entropy_.set_coverage(coverage);
+  signals_.set_coverage(coverage);
+}
+
 }  // namespace faultstudy::env

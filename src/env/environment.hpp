@@ -24,6 +24,7 @@
 #include "env/signals.hpp"
 #include "env/trace.hpp"
 #include "forensics/recorder.hpp"
+#include "obs/probes.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -86,6 +87,14 @@ class Environment {
   /// The bound flight recorder, or nullptr when forensics is detached.
   forensics::FlightRecorder* flight() noexcept { return flight_; }
 
+  /// Binds a per-trial coverage map: subsystems mark their denial/failure
+  /// branches as exercised; apps and recovery mechanisms reach the map
+  /// through coverage(). Pass nullptr to detach (the default state).
+  void set_coverage(obs::CoverageMap* coverage) noexcept;
+
+  /// The bound coverage map, or nullptr when coverage is detached.
+  obs::CoverageMap* coverage() noexcept { return coverage_; }
+
  private:
   EnvironmentConfig config_;
   VirtualClock clock_;
@@ -101,6 +110,7 @@ class Environment {
   std::string hostname_ = "production-host";
   telemetry::TrialCounters* counters_ = nullptr;
   forensics::FlightRecorder* flight_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -9,6 +9,7 @@ bool FdTable::acquire(const std::string& owner, std::size_t n) {
     FS_TELEM(counters_, fd_acquire_failures++);
     FS_FORENSIC(flight_,
                 record(forensics::FlightCode::kFdExhausted, n, used_));
+    FS_COVER(coverage_, hit(obs::Site::kEnvFdDenied));
     return false;
   }
   held_[owner] += n;

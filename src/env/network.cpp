@@ -13,6 +13,7 @@ void Network::degrade_until(LinkState state, Tick until) noexcept {
     FS_FORENSIC(flight_,
                 record(forensics::FlightCode::kLinkDegraded,
                        static_cast<std::uint64_t>(state), until));
+    FS_COVER(coverage_, hit(obs::Site::kEnvLinkDegraded));
   }
 }
 
@@ -26,6 +27,7 @@ bool Network::bind_port(int port, const std::string& owner) {
     FS_FORENSIC(flight_,
                 record(forensics::FlightCode::kPortDenied,
                        static_cast<std::uint64_t>(port)));
+    FS_COVER(coverage_, hit(obs::Site::kEnvPortDenied));
   }
   return inserted;
 }
@@ -64,6 +66,7 @@ bool Network::consume_kernel_resource(std::size_t n) noexcept {
     FS_TELEM(counters_, kernel_resource_denied++);
     FS_FORENSIC(flight_, record(forensics::FlightCode::kKernelResourceDenied,
                                 n, kernel_resource_));
+    FS_COVER(coverage_, hit(obs::Site::kEnvKernelResourceDenied));
     return false;
   }
   kernel_resource_ -= n;

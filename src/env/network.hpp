@@ -7,6 +7,7 @@
 
 #include "env/clock.hpp"
 #include "forensics/recorder.hpp"
+#include "obs/probes.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -53,6 +54,11 @@ class Network {
     flight_ = flight;
   }
 
+  /// Per-trial coverage map; nullptr (the default) records nothing.
+  void set_coverage(obs::CoverageMap* coverage) noexcept {
+    coverage_ = coverage;
+  }
+
  private:
   LinkState forced_ = LinkState::kNormal;
   Tick forced_until_ = 0;
@@ -61,6 +67,7 @@ class Network {
   std::size_t kernel_resource_ = 1u << 20;
   telemetry::ResourceCounters* counters_ = nullptr;
   forensics::FlightRecorder* flight_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -7,6 +7,7 @@ std::optional<Pid> ProcessTable::spawn(const std::string& owner) {
     FS_TELEM(counters_, proc_spawn_failures++);
     FS_FORENSIC(flight_,
                 record(forensics::FlightCode::kProcTableFull, capacity_));
+    FS_COVER(coverage_, hit(obs::Site::kEnvProcSpawnDenied));
     return std::nullopt;
   }
   const Pid pid = next_pid_++;
@@ -31,6 +32,7 @@ bool ProcessTable::mark_hung(Pid pid) {
   it->second.hung = true;
   FS_TELEM(counters_, procs_marked_hung++);
   FS_FORENSIC(flight_, record(forensics::FlightCode::kProcHung, pid));
+  FS_COVER(coverage_, hit(obs::Site::kEnvProcHung));
   return true;
 }
 

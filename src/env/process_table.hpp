@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "forensics/recorder.hpp"
+#include "obs/probes.hpp"
 #include "telemetry/counters.hpp"
 
 namespace faultstudy::env {
@@ -77,12 +78,18 @@ class ProcessTable {
     flight_ = flight;
   }
 
+  /// Per-trial coverage map; nullptr (the default) records nothing.
+  void set_coverage(obs::CoverageMap* coverage) noexcept {
+    coverage_ = coverage;
+  }
+
  private:
   std::size_t capacity_;
   std::unordered_map<Pid, Process> procs_;
   Pid next_pid_ = 100;
   telemetry::ResourceCounters* counters_ = nullptr;
   forensics::FlightRecorder* flight_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -9,6 +9,7 @@ Interleaving Scheduler::draw() {
   FS_TELEM(counters_, sched_draws++);
   if (has_last_ && replay_bias_ > 0.0 && rng_.chance(replay_bias_)) {
     FS_TELEM(counters_, sched_replays++);
+    FS_COVER(coverage_, hit(obs::Site::kEnvSchedReplay));
     return last_;
   }
   Interleaving i;

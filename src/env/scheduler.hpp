@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "obs/probes.hpp"
 #include "telemetry/counters.hpp"
 #include "util/rng.hpp"
 
@@ -49,12 +50,18 @@ class Scheduler {
     counters_ = counters;
   }
 
+  /// Per-trial coverage map; nullptr (the default) records nothing.
+  void set_coverage(obs::CoverageMap* coverage) noexcept {
+    coverage_ = coverage;
+  }
+
  private:
   util::Rng rng_;
   double replay_bias_ = 0.0;
   bool has_last_ = false;
   Interleaving last_;
   telemetry::ResourceCounters* counters_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace faultstudy::env

@@ -8,6 +8,7 @@ void SignalBus::raise(Signal signal, Tick at) {
   pending_.push_back({signal, at});
   FS_FORENSIC(flight_, record(forensics::FlightCode::kSignalRaised,
                               static_cast<std::uint64_t>(signal), at));
+  FS_COVER(coverage_, hit(obs::Site::kEnvSignalRaised));
 }
 
 std::vector<Signal> SignalBus::deliver_due(Tick now) {

@@ -11,6 +11,7 @@
 
 #include "env/clock.hpp"
 #include "forensics/recorder.hpp"
+#include "obs/probes.hpp"
 
 namespace faultstudy::env {
 
@@ -39,9 +40,15 @@ class SignalBus {
     flight_ = flight;
   }
 
+  /// Per-trial coverage map; nullptr (the default) records nothing.
+  void set_coverage(obs::CoverageMap* coverage) noexcept {
+    coverage_ = coverage;
+  }
+
  private:
   std::vector<PendingSignal> pending_;
   forensics::FlightRecorder* flight_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace faultstudy::env

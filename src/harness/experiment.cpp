@@ -84,6 +84,24 @@ class ResourceRecorder {
   std::uint64_t disk_used_ = 0;
 };
 
+/// Maps the trial verdict onto its coverage probe; the atlas's "trial"
+/// section mirrors the TrialVerdict enum one-to-one.
+obs::Site verdict_site(forensics::TrialVerdict verdict) noexcept {
+  switch (verdict) {
+    case forensics::TrialVerdict::kSurvived: return obs::Site::kTrialSurvived;
+    case forensics::TrialVerdict::kStartFailure:
+      return obs::Site::kTrialStartFailure;
+    case forensics::TrialVerdict::kRetryCapExceeded:
+      return obs::Site::kTrialRetryCapExceeded;
+    case forensics::TrialVerdict::kBudgetExhausted:
+      return obs::Site::kTrialBudgetExhausted;
+    case forensics::TrialVerdict::kRecoveryFailed:
+      return obs::Site::kTrialRecoveryFailed;
+    case forensics::TrialVerdict::kCount: break;
+  }
+  return obs::Site::kTrialSurvived;
+}
+
 /// Transcript verdict labels predate the TrialVerdict enum; keep the exact
 /// strings so existing transcript consumers see no change.
 std::string_view verdict_label(forensics::TrialVerdict verdict) noexcept {
@@ -107,7 +125,8 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        const TrialConfig& config,
                        TrialObservation* observation,
                        telemetry::TrialTelemetry* telemetry,
-                       forensics::TrialForensics* forensics) {
+                       forensics::TrialForensics* forensics,
+                       obs::CoverageMap* coverage) {
   TrialOutcome outcome;
 
   // Patch the trial seed into cheap copies of the two config structs rather
@@ -134,6 +153,10 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
   FS_FORENSIC(flight, record(forensics::FlightCode::kTrialStart,
                              workload.size(), config.cycles));
 
+  // Bind the coverage sink before any probe can fire; mechanisms cache it
+  // in attach(), the same way they cache the telemetry counters.
+  if (coverage != nullptr) environment.set_coverage(coverage);
+
   // Bind telemetry before attach(): mechanisms cache the sink there.
   telemetry::SpanTracer* tracer = nullptr;
   std::string recovery_span_name;
@@ -152,10 +175,12 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
               record(forensics::FlightCode::kFaultArmed,
                      static_cast<std::uint64_t>(plan.seed.trigger),
                      static_cast<std::uint64_t>(plan.seed.symptom)));
+  FS_COVER(coverage, hit_inject(plan.seed.trigger));
 
   const auto finish = [&](forensics::TrialVerdict verdict) {
     FS_FORENSIC(flight, record(forensics::FlightCode::kVerdict,
                                static_cast<std::uint64_t>(verdict)));
+    FS_COVER(coverage, hit(verdict_site(verdict)));
     if (observation != nullptr) {
       observation->transcript.record(EventKind::kVerdict, environment.now(), 0,
                                      std::string(verdict_label(verdict)));
@@ -192,6 +217,7 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
   plan.arm_environment(environment, *app);
   FS_FORENSIC(flight, record(forensics::FlightCode::kEnvArmed));
   mechanism.attach(*app, environment);
+  FS_COVER(coverage, hit(obs::Site::kRecAttach));
 
   // The resource baseline is taken after start + arming: the recorder sees
   // only what the workload and the mechanism do from here on.
@@ -284,11 +310,13 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
     }
     if (rewind > 0) {
       FS_FORENSIC(flight, record(forensics::FlightCode::kRollback, rewind));
+      FS_COVER(coverage, hit(obs::Site::kRecRollbackRewind));
     }
     if (!action.recovered) {
       FS_TELEM(telemetry, counters.recovery.failures++);
       FS_FORENSIC(flight,
                   record(forensics::FlightCode::kRecoveryFailed, i));
+      FS_COVER(coverage, hit(obs::Site::kRecRecoveryFailed));
       outcome.first_failure += " (recovery failed)";
       finish(forensics::TrialVerdict::kRecoveryFailed);
       return outcome;
@@ -297,6 +325,7 @@ TrialOutcome run_trial(const inject::InjectionPlan& plan,
     FS_TELEM(telemetry, counters.recovery.items_rewound += rewind);
     FS_FORENSIC(flight,
                 record(forensics::FlightCode::kRecoveryOk, i, rewind));
+    FS_COVER(coverage, hit(obs::Site::kRecRecoveryOk));
     outcome.items_reexecuted += rewind;
     i -= rewind;
   }
@@ -331,10 +360,19 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                         const std::vector<NamedMechanism>& mechanisms,
                         const TrialConfig& config, int repeats,
                         telemetry::StudyTelemetry* telemetry,
-                        forensics::StudyForensics* forensics) {
+                        forensics::StudyForensics* forensics,
+                        obs::CoverageAtlas* coverage) {
   MatrixResult result;
   result.fault_count = seeds.size();
   if (repeats < 1) repeats = 1;
+  // The atlas registers its axes up front (serial), so even seeds whose
+  // cells never run — or an empty sweep — leave a well-formed atlas.
+  if (coverage != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(mechanisms.size());
+    for (const auto& nm : mechanisms) names.push_back(nm.name);
+    coverage->begin_study(seeds, names);
+  }
   if (seeds.empty() || mechanisms.empty()) {
     for (const auto& nm : mechanisms) {
       MechanismReport report;
@@ -365,6 +403,9 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
       std::optional<forensics::PostMortemRecord> postmortem;
     };
     std::vector<TrialFate> fates;
+    /// Union coverage over the cell's repeats. Heap-allocated for the same
+    /// reason as `telem`: the unobserved path pays one pointer per cell.
+    std::unique_ptr<obs::CoverageMap> probes;
   };
   const std::size_t cell_count = mechanisms.size() * seeds.size();
   auto cells = parallel_map<CellVotes>(
@@ -384,8 +425,17 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
           forensics::TrialForensics trial_forensics;
           forensics::TrialForensics* tf =
               forensics != nullptr ? &trial_forensics : nullptr;
+          obs::CoverageMap trial_cover;
+          obs::CoverageMap* cc = coverage != nullptr ? &trial_cover : nullptr;
           const TrialOutcome outcome =
-              run_trial(plan, *mechanism, tc, nullptr, tt, tf);
+              run_trial(plan, *mechanism, tc, nullptr, tt, tf, cc);
+          if (cc != nullptr) {
+            if (votes.probes == nullptr) {
+              votes.probes = std::make_unique<obs::CoverageMap>(trial_cover);
+            } else {
+              votes.probes->merge(trial_cover);
+            }
+          }
           if (tf != nullptr) {
             if (tf->postmortem.has_value()) tf->postmortem->repeat = r;
             votes.fates.push_back(
@@ -422,6 +472,22 @@ MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
         for (auto& fate : votes.fates) {
           forensics->fold_trial(fate.survived, std::move(fate.postmortem));
         }
+      }
+    }
+  }
+
+  // Serial index-order fold of per-cell coverage: the atlas's totals,
+  // per-specimen vectors, and mechanism grids come out identical for every
+  // thread count.
+  if (coverage != nullptr) {
+    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        const CellVotes& votes = cells[m * seeds.size() + s];
+        if (votes.probes == nullptr) continue;
+        coverage->fold_cell(m, s, *votes.probes,
+                            static_cast<std::uint64_t>(repeats),
+                            static_cast<std::uint64_t>(votes.observed),
+                            static_cast<std::uint64_t>(votes.survived));
       }
     }
   }

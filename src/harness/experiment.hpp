@@ -22,6 +22,7 @@
 #include "forensics/postmortem.hpp"
 #include "harness/transcript.hpp"
 #include "inject/specimen.hpp"
+#include "obs/atlas.hpp"
 #include "recovery/mechanism.hpp"
 #include "telemetry/trial.hpp"
 
@@ -84,12 +85,20 @@ struct TrialObservation {
 /// fault to recovery outcome (forensics/postmortem.hpp); trials that ran
 /// traced also get detector verdicts folded into the chain's detection
 /// stage. Compiled out under -DFAULTSTUDY_FORENSICS=OFF.
+///
+/// With `coverage` set, the trial binds it as the environment's coverage
+/// sink: every probe the trial crosses — env denial branches, app state
+/// transitions, recovery-mechanism actions, the injected trigger, and the
+/// verdict — bumps its counter in the map. Probe counts are simulation
+/// state, so the map is identical for every thread count. Compiled out
+/// under -DFAULTSTUDY_COVERAGE=OFF.
 TrialOutcome run_trial(const inject::InjectionPlan& plan,
                        recovery::Mechanism& mechanism,
                        const TrialConfig& config = {},
                        TrialObservation* observation = nullptr,
                        telemetry::TrialTelemetry* telemetry = nullptr,
-                       forensics::TrialForensics* forensics = nullptr);
+                       forensics::TrialForensics* forensics = nullptr,
+                       obs::CoverageMap* coverage = nullptr);
 
 /// Mechanism factory, so the matrix can instantiate a fresh mechanism per
 /// trial (mechanisms hold per-trial checkpoints).
@@ -152,11 +161,17 @@ struct MatrixResult {
 /// `forensics` in (mechanism, seed, repeat) order, so the post-mortem
 /// collection — and everything triage/export derives from it — is
 /// bit-identical for every thread count.
+/// With `coverage` set, every trial records its probe map; repeats of a
+/// cell merge into one per-cell map (held in the cell's index slot), and
+/// the serial reduction folds cells into the atlas in (mechanism, seed)
+/// index order — so the atlas, its blind-spot list, and every export
+/// derived from it are bit-identical for every thread count.
 MatrixResult run_matrix(const std::vector<corpus::SeedFault>& seeds,
                         const std::vector<NamedMechanism>& mechanisms,
                         const TrialConfig& config = {}, int repeats = 3,
                         telemetry::StudyTelemetry* telemetry = nullptr,
-                        forensics::StudyForensics* forensics = nullptr);
+                        forensics::StudyForensics* forensics = nullptr,
+                        obs::CoverageAtlas* coverage = nullptr);
 
 // --- detector-vs-taxonomy oracle cross-check ------------------------------
 //

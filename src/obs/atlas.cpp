@@ -1,0 +1,137 @@
+#include "obs/atlas.hpp"
+
+namespace faultstudy::obs {
+
+std::string_view site_name(Site site) noexcept {
+  switch (site) {
+    case Site::kEnvProcSpawnDenied: return "env/proc_spawn_denied";
+    case Site::kEnvProcHung: return "env/proc_hung";
+    case Site::kEnvFdDenied: return "env/fd_denied";
+    case Site::kEnvDiskNoSpace: return "env/disk_no_space";
+    case Site::kEnvDiskFileTooBig: return "env/disk_file_too_big";
+    case Site::kEnvDnsBroken: return "env/dns_broken";
+    case Site::kEnvDnsError: return "env/dns_error";
+    case Site::kEnvDnsSlow: return "env/dns_slow";
+    case Site::kEnvDnsReverseMiss: return "env/dns_reverse_miss";
+    case Site::kEnvPortDenied: return "env/port_denied";
+    case Site::kEnvKernelResourceDenied: return "env/kernel_resource_denied";
+    case Site::kEnvLinkDegraded: return "env/link_degraded";
+    case Site::kEnvSchedReplay: return "env/sched_replay";
+    case Site::kEnvEntropyBlocked: return "env/entropy_blocked";
+    case Site::kEnvSignalRaised: return "env/signal_raised";
+    case Site::kAppStarted: return "app/started";
+    case Site::kAppStopped: return "app/stopped";
+    case Site::kAppRestored: return "app/restored";
+    case Site::kAppChildSpawned: return "app/child_spawned";
+    case Site::kAppWebRequest: return "app/web_request";
+    case Site::kAppWebCacheFill: return "app/web_cache_fill";
+    case Site::kAppDbQuery: return "app/db_query";
+    case Site::kAppUiEvent: return "app/ui_event";
+    case Site::kRecAttach: return "recovery/attach";
+    case Site::kRecCheckpoint: return "recovery/checkpoint";
+    case Site::kRecRecoveryOk: return "recovery/recovery_ok";
+    case Site::kRecRecoveryFailed: return "recovery/recovery_failed";
+    case Site::kRecRollbackRewind: return "recovery/rollback_rewind";
+    case Site::kRecFailover: return "recovery/failover";
+    case Site::kRecColdRestart: return "recovery/cold_restart";
+    case Site::kRecRejuvenation: return "recovery/rejuvenation";
+    case Site::kRecProactiveRejuvenation:
+      return "recovery/proactive_rejuvenation";
+    case Site::kRecRetrySanitized: return "recovery/retry_sanitized";
+    case Site::kRecSweep: return "recovery/sweep";
+    case Site::kTrialSurvived: return "trial/survived";
+    case Site::kTrialStartFailure: return "trial/start_failure";
+    case Site::kTrialRetryCapExceeded: return "trial/retry_cap_exceeded";
+    case Site::kTrialBudgetExhausted: return "trial/budget_exhausted";
+    case Site::kTrialRecoveryFailed: return "trial/recovery_failed";
+    case Site::kCount: break;
+  }
+  return "?";
+}
+
+std::string inject_site_name(core::Trigger trigger) {
+  return std::string("inject/") + std::string(core::to_string(trigger));
+}
+
+std::string_view site_section(Site site) noexcept {
+  const std::string_view name = site_name(site);
+  return name.substr(0, name.find('/'));
+}
+
+void CoverageAtlas::begin_study(const std::vector<corpus::SeedFault>& seeds,
+                                const std::vector<std::string>& mechanisms) {
+  specimens_.clear();
+  specimens_.reserve(seeds.size());
+  for (const corpus::SeedFault& seed : seeds) {
+    SpecimenCoverage sc;
+    sc.fault_id = seed.fault_id;
+    sc.app = seed.app;
+    sc.trigger = seed.trigger;
+    sc.fault_class = corpus::seed_class(seed);
+    specimens_.push_back(std::move(sc));
+  }
+  grids_.clear();
+  grids_.reserve(mechanisms.size());
+  for (const std::string& name : mechanisms) {
+    MechanismGrid grid;
+    grid.mechanism = name;
+    grids_.push_back(std::move(grid));
+  }
+  totals_ = CoverageMap{};
+  trials_ = 0;
+}
+
+void CoverageAtlas::fold_cell(std::size_t mechanism_index,
+                              std::size_t seed_index, const CoverageMap& probes,
+                              std::uint64_t trials, std::uint64_t observed,
+                              std::uint64_t survived) {
+  totals_.merge(probes);
+  trials_ += trials;
+  if (seed_index < specimens_.size()) {
+    specimens_[seed_index].probes.merge(probes);
+    specimens_[seed_index].trials += trials;
+    if (mechanism_index < grids_.size()) {
+      MechanismGrid& grid = grids_[mechanism_index];
+      const auto t =
+          static_cast<std::size_t>(specimens_[seed_index].trigger);
+      grid.observed[t] += observed;
+      grid.survived[t] += survived;
+    }
+  }
+}
+
+void CoverageAtlas::fold_trial(const corpus::SeedFault& seed,
+                               const CoverageMap& probes) {
+  totals_.merge(probes);
+  trials_ += 1;
+  for (SpecimenCoverage& sc : specimens_) {
+    if (sc.fault_id == seed.fault_id) {
+      sc.probes.merge(probes);
+      sc.trials += 1;
+      break;
+    }
+  }
+}
+
+std::size_t CoverageAtlas::cells_covered() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint64_t v : totals_.inject) n += v > 0 ? 1 : 0;
+  return n;
+}
+
+std::vector<std::string> CoverageAtlas::blind_spots() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    if (totals_.sites[i] == 0) {
+      out.emplace_back(site_name(static_cast<Site>(i)));
+    }
+  }
+  for (std::size_t i = 0; i < core::kNumTriggers; ++i) {
+    if (totals_.inject[i] == 0) {
+      out.push_back(inject_site_name(static_cast<core::Trigger>(i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace faultstudy::obs

@@ -1,0 +1,273 @@
+#include "obs/export.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace faultstudy::obs {
+
+namespace {
+
+constexpr std::string_view kSections[] = {"env", "app", "recovery", "trial"};
+
+/// Sequential blue ramp (light -> dark), one hue; index picked by survival
+/// fraction. Cell ink flips to white once the step is dark enough.
+struct RampStep {
+  std::string_view background;
+  std::string_view ink;
+};
+constexpr RampStep kRamp[] = {
+    {"#cde2fb", "#0b0b0b"}, {"#9ec5f4", "#0b0b0b"}, {"#6da7ec", "#0b0b0b"},
+    {"#3987e5", "#ffffff"}, {"#256abf", "#ffffff"}, {"#184f95", "#ffffff"},
+    {"#0d366b", "#ffffff"},
+};
+constexpr std::size_t kRampSteps = sizeof(kRamp) / sizeof(kRamp[0]);
+
+/// Ramp index for `survived` out of `observed` (integer arithmetic only, so
+/// the choice is deterministic): 0 survivors -> lightest, all -> darkest.
+std::size_t ramp_index(std::uint64_t survived, std::uint64_t observed) {
+  if (observed == 0 || survived == 0) return 0;
+  if (survived >= observed) return kRampSteps - 1;
+  return 1 + (survived * (kRampSteps - 2)) / observed;
+}
+
+}  // namespace
+
+std::string to_json(const CoverageAtlas& atlas) {
+  const CoverageMap& totals = atlas.totals();
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"faultstudy-atlas/1\",\n";
+  out << "  \"trials\": " << atlas.trials() << ",\n";
+  out << "  \"probes_hit\": " << atlas.probes_hit() << ",\n";
+  out << "  \"probe_universe\": " << CoverageAtlas::probe_universe() << ",\n";
+  out << "  \"cells_covered\": " << atlas.cells_covered() << ",\n";
+  out << "  \"cell_universe\": " << CoverageAtlas::cell_universe() << ",\n";
+  const std::vector<std::string> blind = atlas.blind_spots();
+  out << "  \"blind_spots\": [";
+  for (std::size_t i = 0; i < blind.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << util::json::escape(blind[i])
+        << "\"";
+  }
+  out << "],\n";
+  out << "  \"probes\": [\n";
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    out << "    {\"name\": \"" << site_name(static_cast<Site>(i))
+        << "\", \"hits\": " << totals.sites[i] << "},\n";
+  }
+  for (std::size_t i = 0; i < core::kNumTriggers; ++i) {
+    out << "    {\"name\": \""
+        << inject_site_name(static_cast<core::Trigger>(i))
+        << "\", \"hits\": " << totals.inject[i] << "}"
+        << (i + 1 < core::kNumTriggers ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"specimens\": [\n";
+  const auto& specimens = atlas.specimens();
+  for (std::size_t i = 0; i < specimens.size(); ++i) {
+    const SpecimenCoverage& sc = specimens[i];
+    out << "    {\"fault_id\": \"" << util::json::escape(sc.fault_id)
+        << "\", \"app\": \"" << core::to_string(sc.app)
+        << "\", \"trigger\": \"" << core::to_string(sc.trigger)
+        << "\", \"class\": \"" << core::to_code(sc.fault_class)
+        << "\", \"trials\": " << sc.trials
+        << ", \"probes_hit\": " << sc.probes.probes_hit() << "}"
+        << (i + 1 < specimens.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"grids\": [\n";
+  const auto& grids = atlas.grids();
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    const MechanismGrid& grid = grids[g];
+    out << "    {\"mechanism\": \"" << util::json::escape(grid.mechanism)
+        << "\", \"observed\": [";
+    for (std::size_t t = 0; t < core::kNumTriggers; ++t) {
+      out << (t == 0 ? "" : ", ") << grid.observed[t];
+    }
+    out << "], \"survived\": [";
+    for (std::size_t t = 0; t < core::kNumTriggers; ++t) {
+      out << (t == 0 ? "" : ", ") << grid.survived[t];
+    }
+    out << "]}" << (g + 1 < grids.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string render_text(const CoverageAtlas& atlas) {
+  const CoverageMap& totals = atlas.totals();
+  std::ostringstream out;
+  out << "coverage atlas: " << atlas.probes_hit() << "/"
+      << CoverageAtlas::probe_universe() << " probes hit, "
+      << atlas.cells_covered() << "/" << CoverageAtlas::cell_universe()
+      << " taxonomy cells covered, " << atlas.trials() << " trials\n";
+  for (const std::string_view section : kSections) {
+    out << "\n[" << section << "]\n";
+    for (std::size_t i = 0; i < kNumSites; ++i) {
+      const auto site = static_cast<Site>(i);
+      if (site_section(site) != section) continue;
+      out << "  " << site_name(site) << ": " << totals.sites[i] << "\n";
+    }
+  }
+  out << "\n[inject]\n";
+  for (std::size_t i = 0; i < core::kNumTriggers; ++i) {
+    out << "  " << inject_site_name(static_cast<core::Trigger>(i)) << ": "
+        << totals.inject[i] << "\n";
+  }
+  const std::vector<std::string> blind = atlas.blind_spots();
+  out << "\nblind spots (" << blind.size() << "):\n";
+  for (const std::string& name : blind) {
+    out << "  " << name << "\n";
+  }
+  return out.str();
+}
+
+std::string render_heatmap_html(const CoverageAtlas& atlas) {
+  const CoverageMap& totals = atlas.totals();
+  const std::vector<std::string> blind = atlas.blind_spots();
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+      << "<meta charset=\"utf-8\">\n"
+      << "<title>faultstudy coverage atlas</title>\n"
+      << "<style>\n"
+      << ".viz-root {\n"
+      << "  color-scheme: light;\n"
+      << "  --surface-1: #fcfcfb;\n"
+      << "  --text-primary: #0b0b0b;\n"
+      << "  --text-secondary: #52514e;\n"
+      << "  --muted: #898781;\n"
+      << "  --grid: #e1e0d9;\n"
+      << "}\n"
+      << "@media (prefers-color-scheme: dark) {\n"
+      << "  :root:where(:not([data-theme=\"light\"])) .viz-root {\n"
+      << "    color-scheme: dark;\n"
+      << "    --surface-1: #1a1a19;\n"
+      << "    --text-primary: #ffffff;\n"
+      << "    --text-secondary: #c3c2b7;\n"
+      << "    --grid: #2c2c2a;\n"
+      << "  }\n"
+      << "}\n"
+      << ":root[data-theme=\"dark\"] .viz-root {\n"
+      << "  color-scheme: dark;\n"
+      << "  --surface-1: #1a1a19;\n"
+      << "  --text-primary: #ffffff;\n"
+      << "  --text-secondary: #c3c2b7;\n"
+      << "  --grid: #2c2c2a;\n"
+      << "}\n"
+      << "body { margin: 0; }\n"
+      << ".viz-root { background: var(--surface-1);"
+      << " color: var(--text-primary);"
+      << " font-family: system-ui, -apple-system, \"Segoe UI\", sans-serif;"
+      << " padding: 24px; }\n"
+      << "h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; }\n"
+      << ".summary { color: var(--text-secondary); }\n"
+      << "table { border-collapse: separate; border-spacing: 2px; }\n"
+      << "th { font-weight: 600; color: var(--text-secondary);"
+      << " font-size: 12px; text-align: left; }\n"
+      << "th.rot { height: 150px; vertical-align: bottom; }\n"
+      << "th.rot span { writing-mode: vertical-rl;"
+      << " transform: rotate(180deg); }\n"
+      << "td.c { min-width: 34px; text-align: center; font-size: 12px;"
+      << " font-variant-numeric: tabular-nums; padding: 4px;"
+      << " border-radius: 4px; }\n"
+      << "td.none { color: var(--muted); }\n"
+      << "td.n { font-variant-numeric: tabular-nums; font-size: 13px;"
+      << " padding: 2px 10px 2px 0; }\n"
+      << "td.name { font-size: 13px; padding: 2px 10px 2px 0; }\n";
+  for (std::size_t s = 0; s < kRampSteps; ++s) {
+    out << "td.s" << s << " { background: " << kRamp[s].background
+        << "; color: " << kRamp[s].ink << "; }\n";
+  }
+  out << ".legend td { font-size: 12px; }\n"
+      << ".blind { color: var(--text-secondary); }\n"
+      << "</style>\n</head>\n<body>\n<div class=\"viz-root\">\n";
+
+  out << "<h1>Study coverage atlas</h1>\n"
+      << "<p class=\"summary\">" << atlas.probes_hit() << " of "
+      << CoverageAtlas::probe_universe() << " probes hit &middot; "
+      << atlas.cells_covered() << " of " << CoverageAtlas::cell_universe()
+      << " taxonomy cells covered &middot; " << blind.size()
+      << " blind spots &middot; " << atlas.trials() << " trials</p>\n";
+
+  // Mechanism x trigger survival grid: cell text is survived/observed, the
+  // fill encodes the survival fraction on a single-hue sequential ramp.
+  out << "<h2>Recovery grid: mechanism &times; trigger (survived/observed)"
+      << "</h2>\n<table>\n<tr><th></th>";
+  for (std::size_t t = 0; t < core::kNumTriggers; ++t) {
+    out << "<th class=\"rot\"><span>"
+        << core::to_string(static_cast<core::Trigger>(t)) << "</span></th>";
+  }
+  out << "</tr>\n";
+  for (const MechanismGrid& grid : atlas.grids()) {
+    out << "<tr><th>" << grid.mechanism << "</th>";
+    for (std::size_t t = 0; t < core::kNumTriggers; ++t) {
+      const std::uint64_t observed = grid.observed[t];
+      const std::uint64_t survived = grid.survived[t];
+      if (observed == 0) {
+        out << "<td class=\"c none\">&ndash;</td>";
+      } else {
+        out << "<td class=\"c s" << ramp_index(survived, observed) << "\">"
+            << survived << "/" << observed << "</td>";
+      }
+    }
+    out << "</tr>\n";
+  }
+  out << "</table>\n";
+  out << "<table class=\"legend\"><tr><td>survival</td>";
+  for (std::size_t s = 0; s < kRampSteps; ++s) {
+    out << "<td class=\"c s" << s << "\">"
+        << (s * 100) / (kRampSteps - 1) << "%</td>";
+  }
+  out << "<td class=\"none c\">&ndash; not observed</td></tr></table>\n";
+
+  // Probe tables, one per section; blind spots called out in text.
+  for (const std::string_view section : kSections) {
+    out << "<h2>Probes: " << section << "</h2>\n<table>\n";
+    for (std::size_t i = 0; i < kNumSites; ++i) {
+      const auto site = static_cast<Site>(i);
+      if (site_section(site) != section) continue;
+      out << "<tr><td class=\"name\">" << site_name(site)
+          << "</td><td class=\"n\">" << totals.sites[i] << "</td><td>"
+          << (totals.sites[i] == 0 ? "blind spot" : "") << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+  out << "<h2>Probes: inject (taxonomy cells)</h2>\n<table>\n";
+  for (std::size_t i = 0; i < core::kNumTriggers; ++i) {
+    out << "<tr><td class=\"name\">"
+        << inject_site_name(static_cast<core::Trigger>(i))
+        << "</td><td class=\"n\">" << totals.inject[i] << "</td><td>"
+        << (totals.inject[i] == 0 ? "blind spot" : "") << "</td></tr>\n";
+  }
+  out << "</table>\n";
+
+  out << "<h2>Blind spots (" << blind.size() << ")</h2>\n";
+  if (blind.empty()) {
+    out << "<p class=\"blind\">none &mdash; every probe was hit</p>\n";
+  } else {
+    out << "<ul class=\"blind\">\n";
+    for (const std::string& name : blind) {
+      out << "<li>" << name << "</li>\n";
+    }
+    out << "</ul>\n";
+  }
+  out << "</div>\n</body>\n</html>\n";
+  return out.str();
+}
+
+void export_gauges(const CoverageAtlas& atlas,
+                   telemetry::MetricsRegistry& registry) {
+  const auto publish = [&registry](std::string_view name, std::uint64_t v) {
+    registry.peak(registry.gauge(name), static_cast<std::int64_t>(v));
+  };
+  publish("coverage/probes_hit", atlas.probes_hit());
+  publish("coverage/probe_universe", CoverageAtlas::probe_universe());
+  publish("coverage/cells_covered", atlas.cells_covered());
+  publish("coverage/cell_universe", CoverageAtlas::cell_universe());
+  publish("coverage/blind_spots", atlas.blind_spots().size());
+  publish("coverage/trials", atlas.trials());
+}
+
+}  // namespace faultstudy::obs

@@ -1,0 +1,35 @@
+// Serializers for the coverage atlas. All output is deterministic given
+// the atlas: probe rows come out in enum/export order, specimens in seed
+// order, grids in roster order, and every number is an integer — so atlas
+// exports compare byte for byte across thread counts.
+#pragma once
+
+#include <string>
+
+#include "obs/atlas.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace faultstudy::obs {
+
+/// Machine-readable atlas JSON ("faultstudy-atlas/1"): summary, the full
+/// probe universe with hit counts (zero-hit rows included), blind spots,
+/// per-specimen coverage vectors, and the mechanism x trigger grids.
+std::string to_json(const CoverageAtlas& atlas);
+
+/// Human-readable atlas summary: coverage fractions, per-section probe
+/// tables, and the blind-spot list.
+std::string render_text(const CoverageAtlas& atlas);
+
+/// Self-contained HTML heatmap of the mechanism x trigger recovery grid
+/// plus the probe coverage tables. No external assets, no timestamps —
+/// byte-identical for identical atlases.
+std::string render_heatmap_html(const CoverageAtlas& atlas);
+
+/// Publishes the atlas summary as registry gauges (coverage/probes_hit,
+/// coverage/probe_universe, coverage/cells_covered, coverage/blind_spots,
+/// coverage/trials) so the existing Prometheus/JSON telemetry exporters
+/// surface coverage alongside the study metrics.
+void export_gauges(const CoverageAtlas& atlas,
+                   telemetry::MetricsRegistry& registry);
+
+}  // namespace faultstudy::obs

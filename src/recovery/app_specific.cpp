@@ -24,6 +24,7 @@ void AppSpecific::attach(apps::SimApp& app, env::Environment& e) {
   e.scheduler().set_replay_bias(ReplayBias::kAppSpecific);
   counters_ = e.counters();
   flight_ = e.flight();
+  coverage_ = e.coverage();
 }
 
 RecoveryAction AppSpecific::recover(apps::SimApp& app, env::Environment& e) {
@@ -51,6 +52,7 @@ void AppSpecific::prepare_retry(apps::WorkItem& item) {
       FS_TELEM(counters_, recovery.retries_sanitized++);
       FS_FORENSIC(flight_,
                   record(forensics::FlightCode::kRetrySanitized, item.id));
+      FS_COVER(coverage_, hit(obs::Site::kRecRetrySanitized));
     }
     sanitize_next_ = false;
   }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "forensics/recorder.hpp"
+#include "obs/probes.hpp"
 #include "recovery/mechanism.hpp"
 #include "telemetry/counters.hpp"
 
@@ -40,6 +41,7 @@ class AppSpecific final : public Mechanism {
   // sinks so sanitized retries are still counted and flight-recorded.
   telemetry::TrialCounters* counters_ = nullptr;
   forensics::FlightRecorder* flight_ = nullptr;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 /// True when the trigger's condition is reachable by application-level

@@ -22,6 +22,7 @@ RecoveryAction ProcessPairs::recover(apps::SimApp& app, env::Environment& e) {
   action.rewind_items = 0;  // the backup is synced to the last completed op
   FS_TELEM(e.counters(), recovery.failovers++);
   FS_FORENSIC(e.flight(), record(forensics::FlightCode::kFailover));
+  FS_COVER(e.coverage(), hit(obs::Site::kRecFailover));
   return action;
 }
 

@@ -18,6 +18,7 @@ RecoveryAction Rejuvenation::recover(apps::SimApp& app, env::Environment& e) {
   action.rewind_items = 0;
   FS_TELEM(e.counters(), recovery.rejuvenation_cycles++);
   FS_FORENSIC(e.flight(), record(forensics::FlightCode::kRejuvenation));
+  FS_COVER(e.coverage(), hit(obs::Site::kRecRejuvenation));
   return action;
 }
 
@@ -40,6 +41,7 @@ void ScheduledRejuvenation::on_item_success(apps::SimApp& app,
   app.rejuvenate(e);
   FS_TELEM(e.counters(), recovery.proactive_rejuvenations++);
   FS_FORENSIC(e.flight(), record(forensics::FlightCode::kRejuvenation, 1));
+  FS_COVER(e.coverage(), hit(obs::Site::kRecProactiveRejuvenation));
 }
 
 RecoveryAction ScheduledRejuvenation::recover(apps::SimApp& app,
@@ -54,6 +56,7 @@ RecoveryAction ScheduledRejuvenation::recover(apps::SimApp& app,
   action.recovered = app.running();
   FS_TELEM(e.counters(), recovery.rejuvenation_cycles++);
   FS_FORENSIC(e.flight(), record(forensics::FlightCode::kRejuvenation));
+  FS_COVER(e.coverage(), hit(obs::Site::kRecRejuvenation));
   return action;
 }
 

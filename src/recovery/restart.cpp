@@ -18,6 +18,7 @@ RecoveryAction ColdRestart::recover(apps::SimApp& app, env::Environment& e) {
   action.rewind_items = 0;  // in-flight work is simply lost, not replayed
   FS_TELEM(e.counters(), recovery.cold_restarts++);
   FS_FORENSIC(e.flight(), record(forensics::FlightCode::kColdRestart));
+  FS_COVER(e.coverage(), hit(obs::Site::kRecColdRestart));
   return action;
 }
 

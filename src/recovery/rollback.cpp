@@ -18,6 +18,7 @@ void RollbackRetry::attach(apps::SimApp& app, env::Environment& e) {
   since_checkpoint_ = 0;
   FS_TELEM(e.counters(), recovery.checkpoints++);
   FS_FORENSIC(e.flight(), record(forensics::FlightCode::kCheckpoint));
+  FS_COVER(e.coverage(), hit(obs::Site::kRecCheckpoint));
 }
 
 void RollbackRetry::on_item_success(apps::SimApp& app, env::Environment& e) {
@@ -26,6 +27,7 @@ void RollbackRetry::on_item_success(apps::SimApp& app, env::Environment& e) {
     since_checkpoint_ = 0;
     FS_TELEM(e.counters(), recovery.checkpoints++);
     FS_FORENSIC(e.flight(), record(forensics::FlightCode::kCheckpoint));
+    FS_COVER(e.coverage(), hit(obs::Site::kRecCheckpoint));
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include "corpus/seeds.hpp"
 #include "corpus/synth.hpp"
+#include "obs/export.hpp"
 #include "report/export.hpp"
 #include "report/figure.hpp"
 #include "report/table.hpp"
@@ -28,9 +29,16 @@ StudyResults run_full_study(const StudyReportOptions& options) {
         options.include_telemetry ? &study : nullptr;
     forensics::StudyForensics* forens =
         options.include_forensics ? &r.forensics : nullptr;
+    obs::CoverageAtlas* atlas = options.include_coverage ? &r.coverage : nullptr;
     r.matrix = harness::run_matrix(corpus::all_seeds(),
                                    harness::standard_mechanisms(), {},
-                                   options.matrix_repeats, telem, forens);
+                                   options.matrix_repeats, telem, forens,
+                                   atlas);
+    // Atlas gauges ride the telemetry snapshot, so the Prometheus/JSON
+    // exporters publish coverage alongside the study counters.
+    if (telem != nullptr && atlas != nullptr) {
+      obs::export_gauges(r.coverage, study.metrics);
+    }
     if (telem != nullptr) r.telemetry = study.metrics.snapshot();
     if (forens != nullptr) r.triage = forensics::triage(forens->postmortems);
   }
@@ -117,6 +125,28 @@ void render_forensics(std::string& md, const forensics::StudyForensics& study,
   }
 }
 
+void render_coverage(std::string& md, const obs::CoverageAtlas& atlas) {
+  if (atlas.trials() == 0) return;
+  md += "\n## Coverage atlas\n\n";
+  md += "Probe coverage folded from every matrix trial in index order; all "
+        "values are integer hit counts, so this section is identical for "
+        "any thread count.\n\n";
+  md += "| coverage plane | covered | universe |\n|---|---|---|\n";
+  md += "| instrumented probes | " + std::to_string(atlas.probes_hit()) +
+        " | " + std::to_string(obs::CoverageAtlas::probe_universe()) + " |\n";
+  md += "| taxonomy cells (trigger recipes) | " +
+        std::to_string(atlas.cells_covered()) + " | " +
+        std::to_string(obs::CoverageAtlas::cell_universe()) + " |\n";
+  md += "| trials folded | " + std::to_string(atlas.trials()) + " | — |\n";
+  const auto blind = atlas.blind_spots();
+  if (blind.empty()) {
+    md += "\nNo blind spots: every probe fired at least once.\n";
+  } else {
+    md += "\nBlind spots (probes no trial ever hit):\n\n";
+    for (const auto& name : blind) md += "- `" + name + "`\n";
+  }
+}
+
 void render_figure(std::string& md, std::string_view title,
                    const std::vector<core::Fault>& faults, core::AppId app,
                    const std::vector<std::string>& labels) {
@@ -190,6 +220,7 @@ std::string render_markdown(const StudyResults& r,
           "specific knowledge — the paper's conclusion.\n";
   }
   if (options.include_forensics) render_forensics(md, r.forensics, r.triage);
+  if (options.include_coverage) render_coverage(md, r.coverage);
   if (options.include_telemetry) render_telemetry(md, r.telemetry);
   return md;
 }

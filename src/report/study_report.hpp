@@ -15,6 +15,7 @@
 #include "forensics/triage.hpp"
 #include "harness/experiment.hpp"
 #include "mining/pipeline.hpp"
+#include "obs/atlas.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace faultstudy::report {
@@ -29,6 +30,11 @@ struct StudyReportOptions {
   /// Run the matrix with flight recorders attached and render the failure-
   /// forensics section (post-mortem counts and triage clusters).
   bool include_forensics = true;
+  /// Run the matrix with coverage probes folded into an atlas and render
+  /// the coverage section (probe totals, taxonomy cells, blind spots).
+  /// Under -DFAULTSTUDY_COVERAGE=OFF the probes compile out and the
+  /// section reports zero coverage.
+  bool include_coverage = true;
   /// Matrix repeats per (fault, mechanism) cell.
   int matrix_repeats = 3;
 };
@@ -47,6 +53,9 @@ struct StudyResults {
   /// (empty when either the matrix or the forensics option is off).
   forensics::StudyForensics forensics;
   std::vector<forensics::TriageCluster> triage;
+  /// Coverage atlas folded from every matrix trial (empty when either the
+  /// matrix or the coverage option is off).
+  obs::CoverageAtlas coverage;
 };
 
 /// Runs everything. Deterministic in the corpus/matrix seeds.

@@ -1,0 +1,57 @@
+// A minimal JSON reader for the library's own machine-readable artifacts
+// (BENCH_*.json, baselines/study_baseline.json, telemetry snapshots).
+//
+// This is a reader for documents the library itself writes: strict JSON,
+// no comments, UTF-8 passed through verbatim. Numbers keep both an integer
+// and a double view because every deterministic artifact is integer-valued
+// while bench timings are not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace faultstudy::util::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Integer view of a number token without a fraction/exponent part;
+  /// valid iff `is_integer`.
+  std::int64_t integer = 0;
+  bool is_integer = false;
+  std::string str;
+  std::vector<Value> array;
+  /// Insertion-ordered members (canonical writers emit a fixed order).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const noexcept { return kind == Kind::kNull; }
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const noexcept;
+
+  /// Convenience accessors with defaults for optional members.
+  std::int64_t int_or(std::string_view key, std::int64_t fallback) const;
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Result<Value> parse(std::string_view text);
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+std::string escape(std::string_view text);
+
+}  // namespace faultstudy::util::json
